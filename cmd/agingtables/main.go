@@ -1,0 +1,111 @@
+// Command agingtables runs the offline flow of Fig. 5 step (1): it
+// generates the synthetic critical paths for a chip, evaluates the
+// reaction–diffusion NBTI model over the (temperature × duty × age) grid
+// and dumps the resulting 3D aging table.
+//
+// Usage:
+//
+//	agingtables -seed 1                 # summary + one temperature slice
+//	agingtables -seed 1 -full > t.tsv   # full table as TSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/kit-ces/hayat/internal/aging"
+	"github.com/kit-ces/hayat/internal/gates"
+	"github.com/kit-ces/hayat/internal/netlist"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "chip seed (selects the synthetic critical paths)")
+	full := flag.Bool("full", false, "dump the full table as TSV instead of a summary")
+	sliceT := flag.Float64("slice", 368.15, "temperature (K) of the slice printed in summary mode")
+	useNetlist := flag.Bool("netlist", false, "derive paths from the synthetic processor netlist and print the per-module timing report")
+	flag.Parse()
+
+	if *useNetlist {
+		if err := runNetlist(*seed, *sliceT); err != nil {
+			fmt.Fprintln(os.Stderr, "agingtables:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*seed, *full, *sliceT); err != nil {
+		fmt.Fprintln(os.Stderr, "agingtables:", err)
+		os.Exit(1)
+	}
+}
+
+// runNetlist prints the micro-architectural timing report of the
+// netlist-derived offline flow.
+func runNetlist(seed int64, sliceT float64) error {
+	proc, err := netlist.Synthesize(netlist.Alpha21264Like(), gates.DefaultGenerateConfig(), seed)
+	if err != nil {
+		return err
+	}
+	params := aging.DefaultParams()
+	ca := proc.CoreAging(params)
+	fmt.Printf("netlist-synthesised core, seed %d: %d paths over %d modules, %.2f GHz unaged\n",
+		seed, len(proc.Paths.Paths), len(proc.Modules), 1/ca.UnagedDelay()/1e9)
+	mod, _ := proc.CriticalModule(params, sliceT, 0.8, 0)
+	fmt.Printf("critical module @ year 0: %s\n", mod.Name)
+	mod10, _ := proc.CriticalModule(params, sliceT, 0.8, 10)
+	fmt.Printf("critical module @ year 10 (T=%.1fK, duty 0.8): %s\n\n", sliceT, mod10.Name)
+
+	d0 := proc.ModuleDelays(params, sliceT, 0.8, 0)
+	d10 := proc.ModuleDelays(params, sliceT, 0.8, 10)
+	names := make([]string, 0, len(d0))
+	for name := range d0 {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-10s %12s %12s %8s\n", "module", "delay@0 [ps]", "delay@10[ps]", "growth")
+	for _, name := range names {
+		fmt.Printf("%-10s %12.1f %12.1f %7.2f%%\n",
+			name, d0[name]*1e12, d10[name]*1e12, (d10[name]/d0[name]-1)*100)
+	}
+	return nil
+}
+
+func run(seed int64, full bool, sliceT float64) error {
+	paths := gates.Generate(gates.DefaultGenerateConfig(), seed)
+	ca := aging.NewCoreAging(aging.DefaultParams(), paths)
+	tab := aging.DefaultTable(ca)
+
+	if full {
+		fmt.Println("tempK\tduty\tyears\tfreq_factor")
+		for ti, T := range tab.Temps {
+			for di, d := range tab.Duties {
+				for yi, y := range tab.Years {
+					fmt.Printf("%.2f\t%.2f\t%.3f\t%.6f\n", T, d, y, tab.At(ti, di, yi))
+				}
+			}
+		}
+		return nil
+	}
+
+	fmt.Printf("chip seed %d: %d critical paths, slowest unaged delay %.1f ps (%.2f GHz)\n",
+		seed, len(paths.Paths), ca.UnagedDelay()*1e12, 1/ca.UnagedDelay()/1e9)
+	fmt.Printf("table grid: %d temperatures × %d duty cycles × %d ages = %d entries\n",
+		len(tab.Temps), len(tab.Duties), len(tab.Years),
+		len(tab.Temps)*len(tab.Duties)*len(tab.Years))
+
+	fmt.Printf("\nfrequency factor at T = %.2f K:\n", sliceT)
+	fmt.Printf("%6s", "duty\\yr")
+	for _, y := range tab.Years {
+		fmt.Printf(" %6.2f", y)
+	}
+	fmt.Println()
+	for _, d := range tab.Duties {
+		fmt.Printf("%7.2f", d)
+		for _, y := range tab.Years {
+			fmt.Printf(" %6.4f", tab.Lookup(sliceT, d, y))
+		}
+		fmt.Println()
+	}
+	return nil
+}

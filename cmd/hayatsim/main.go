@@ -1,0 +1,166 @@
+// Command hayatsim runs one lifetime simulation on one chip and prints
+// per-epoch health, frequency and thermal statistics.
+//
+// Usage:
+//
+//	hayatsim -policy hayat -seed 1 -dark 0.5 -years 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/kit-ces/hayat"
+)
+
+func main() {
+	policyName := flag.String("policy", "hayat", "mapping policy: hayat or vaa")
+	seed := flag.Int64("seed", 1, "chip manufacturing seed")
+	dark := flag.Float64("dark", 0.50, "minimum dark-silicon fraction")
+	years := flag.Float64("years", 10, "simulated lifetime in years")
+	epoch := flag.Float64("epoch", 0.25, "aging-epoch length in years")
+	maps := flag.Bool("maps", false, "print initial/final frequency maps")
+	jsonPath := flag.String("json", "", "write the full result as JSON to this file")
+	tracePath := flag.String("trace", "", "write a fine-grained temperature/power trace (TSV) to this file")
+	traceCores := flag.String("tracecores", "0", "comma-separated core indices to trace")
+	checkpointPath := flag.String("checkpoint", "", "write a checkpoint to this file after -checkpoint-at epochs and exit")
+	checkpointAt := flag.Int("checkpoint-at", 0, "epoch (a remix boundary) at which to checkpoint")
+	resumePath := flag.String("resume", "", "resume a checkpointed run from this file")
+	flag.Parse()
+
+	if err := run(*policyName, *seed, *dark, *years, *epoch, *maps, *jsonPath, *tracePath, *traceCores, *checkpointPath, *checkpointAt, *resumePath); err != nil {
+		fmt.Fprintln(os.Stderr, "hayatsim:", err)
+		os.Exit(1)
+	}
+}
+
+// parseCores parses a comma-separated index list.
+func parseCores(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad core index %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(policyName string, seed int64, dark, years, epoch float64, maps bool, jsonPath, tracePath, traceCores, checkpointPath string, checkpointAt int, resumePath string) error {
+	var pol hayat.Policy
+	switch strings.ToLower(policyName) {
+	case "hayat":
+		pol = hayat.PolicyHayat
+	case "vaa":
+		pol = hayat.PolicyVAA
+	default:
+		return fmt.Errorf("unknown policy %q (want hayat or vaa)", policyName)
+	}
+
+	cfg := hayat.DefaultConfig()
+	cfg.DarkFraction = dark
+	cfg.Years = years
+	cfg.EpochYears = epoch
+	sys, err := hayat.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	chip, err := sys.NewChip(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chip seed %d: frequency spread %.1f%%, %d cores, %s policy, %.0f%% dark\n",
+		seed, chip.FrequencySpread()*100, sys.Cores(), pol, dark*100)
+
+	if checkpointPath != "" {
+		f, err := os.Create(checkpointPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := chip.RunLifetimeCheckpointed(pol, checkpointAt, f); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint after %d epochs written to %s\n", checkpointAt, checkpointPath)
+		return nil
+	}
+
+	var res *hayat.LifetimeResult
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		res, err = chip.ResumeLifetime(pol, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s\n", resumePath)
+	} else if tracePath != "" {
+		cores, err := parseCores(traceCores)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		res, err = chip.RunLifetimeTraced(pol, f, cores, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", tracePath)
+	} else {
+		var err error
+		res, err = chip.RunLifetime(pol)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("%6s %8s %9s %9s %9s %8s %8s %5s\n",
+		"epoch", "years", "avgHealth", "avgF[GHz]", "maxF[GHz]", "Tavg[K]", "Tpeak[K]", "DTM")
+	for _, e := range res.Epochs {
+		fmt.Printf("%6d %8.2f %9.4f %9.3f %9.3f %8.2f %8.2f %5d\n",
+			e.Index, e.YearsElapsed, e.AvgHealth, e.AvgFMax/1e9, e.MaxFMax/1e9,
+			e.AvgTemp, e.PeakTemp, e.DTMEvents)
+	}
+	fmt.Printf("total DTM events: %d (migrations %d, throttles %d)\n",
+		res.DTMEvents(), res.DTMMigrations, res.DTMThrottles)
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("result written to %s\n", jsonPath)
+	}
+
+	if maps {
+		ghz := func(v []float64) []float64 {
+			out := make([]float64, len(v))
+			for i, f := range v {
+				out[i] = f / 1e9
+			}
+			return out
+		}
+		fmt.Printf("\ninitial frequencies [GHz]:\n%s", sys.RenderNumericMap(ghz(res.InitialFMax), "%4.2f"))
+		fmt.Printf("\nfinal frequencies [GHz]:\n%s", sys.RenderNumericMap(ghz(res.FinalFMax), "%4.2f"))
+		fmt.Printf("\nhealth heat map (dark = healthy):\n%s", sys.RenderHeatMap(res.FinalHealth, 0, 0))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package hayat_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/kit-ces/hayat"
+)
+
+// The shortest useful program: one chip, one lifetime, one headline
+// number. (Shortened to one simulated year so the example runs quickly;
+// the paper's setup uses Years = 10.)
+func ExampleChip_RunLifetime() {
+	cfg := hayat.DefaultConfig()
+	cfg.Years = 1
+	cfg.WindowSeconds = 1
+	sys, err := hayat.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := sys.NewChip(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := chip.RunLifetime(hayat.PolicyHayat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy=%s epochs=%d aged=%v\n",
+		res.Policy, len(res.Epochs),
+		res.AverageFrequencyAt(1) < res.AverageFrequencyAt(0))
+	// Output: policy=Hayat epochs=4 aged=true
+}
+
+// Chips are deterministic in their seed: the same seed always yields the
+// same die, whatever machine or run.
+func ExampleSystem_NewChip() {
+	cfg := hayat.DefaultConfig()
+	cfg.Years = 1
+	sys, err := hayat.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := sys.NewChip(7)
+	b, _ := sys.NewChip(7)
+	fmt.Println(a.InitialFrequencies()[0] == b.InitialFrequencies()[0])
+	// Output: true
+}
+
+// Policies are compared over chip populations, as in the paper's
+// Figs. 7–10 (two tiny chips here; the paper uses 25).
+func ExampleCompare() {
+	cfg := hayat.DefaultConfig()
+	cfg.Years = 0.5
+	cfg.WindowSeconds = 1
+	sys, err := hayat.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := sys.RunPopulation(1, 2, hayat.PolicyHayat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := sys.RunPopulation(1, 2, hayat.PolicyVAA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := hayat.Compare(h, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hayat runs cooler than VAA: %v\n", c.TempOverAmbientRatio < 1)
+	// Output: Hayat runs cooler than VAA: true
+}

@@ -1,0 +1,65 @@
+// Turbo boost: the paper names Intel Turbo Boost [21] as an example of a
+// performance-boosting technique that elevates temperatures and
+// aggravates NBTI aging. This example quantifies the trade: throughput
+// gained vs. health and lifetime lost, under the Hayat policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/kit-ces/hayat"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "chip seed")
+	years := flag.Float64("years", 5, "simulated lifetime")
+	flag.Parse()
+
+	run := func(turbo bool) *hayat.LifetimeResult {
+		cfg := hayat.DefaultConfig()
+		cfg.Years = *years
+		cfg.TurboBoost = turbo
+		cfg.TurboMarginK = 15
+		sys, err := hayat.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chip, err := sys.NewChip(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := chip.RunLifetime(hayat.PolicyHayat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(false)
+	turbo := run(true)
+
+	sumIPS := func(r *hayat.LifetimeResult) float64 {
+		s := 0.0
+		for _, e := range r.Epochs {
+			s += e.AvgIPS
+		}
+		return s / float64(len(r.Epochs))
+	}
+	lastB := base.Epochs[len(base.Epochs)-1]
+	lastT := turbo.Epochs[len(turbo.Epochs)-1]
+
+	fmt.Printf("%-22s %14s %14s\n", "", "nominal", "turbo boost")
+	fmt.Printf("%-22s %14.2f %14.2f\n", "mean IPS [GIPS]", sumIPS(base)/1e9, sumIPS(turbo)/1e9)
+	fmt.Printf("%-22s %14.2f %14.2f\n", "avg temp @end [K]", lastB.AvgTemp, lastT.AvgTemp)
+	fmt.Printf("%-22s %14.2f %14.2f\n", "peak temp @end [K]", lastB.PeakTemp, lastT.PeakTemp)
+	fmt.Printf("%-22s %14.4f %14.4f\n", "avg health @end", lastB.AvgHealth, lastT.AvgHealth)
+	fmt.Printf("%-22s %14.3f %14.3f\n", "avg fmax @end [GHz]", lastB.AvgFMax/1e9, lastT.AvgFMax/1e9)
+	fmt.Printf("%-22s %14d %14d\n", "DTM events", base.DTMEvents(), turbo.DTMEvents())
+
+	gain := (sumIPS(turbo)/sumIPS(base) - 1) * 100
+	cost := (lastB.AvgFMax - lastT.AvgFMax) / 1e6
+	fmt.Printf("\nturbo gains %.1f%% throughput and costs %.0f MHz of aged average frequency over %.0f years\n",
+		gain, cost, *years)
+}

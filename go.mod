@@ -1,0 +1,3 @@
+module github.com/kit-ces/hayat
+
+go 1.22

@@ -1,0 +1,141 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/kit-ces/hayat/internal/gates"
+)
+
+func testComposite(t *testing.T) *CompositeCoreAging {
+	t.Helper()
+	c, err := NewCompositeCoreAging(DefaultParams(), DefaultHCIParams(),
+		gates.Generate(gates.DefaultGenerateConfig(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHCIParamsValidate(t *testing.T) {
+	if err := DefaultHCIParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []HCIParams{
+		{Prefactor: -1, ActivationTemp: 1200, RefFreq: 3e9, TimeExp: 0.5},
+		{Prefactor: 1, ActivationTemp: 0, RefFreq: 3e9, TimeExp: 0.5},
+		{Prefactor: 1, ActivationTemp: 1200, RefFreq: 0, TimeExp: 0.5},
+		{Prefactor: 1, ActivationTemp: 1200, RefFreq: 3e9, TimeExp: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewCompositeCoreAging(DefaultParams(), bad[0],
+		gates.Generate(gates.DefaultGenerateConfig(), 1)); err == nil {
+		t.Error("NewCompositeCoreAging accepted bad HCI params")
+	}
+}
+
+func TestHCIDeltaVthZeroCases(t *testing.T) {
+	p := DefaultHCIParams()
+	if p.DeltaVth(350, 0, 0.5, 3e9) != 0 ||
+		p.DeltaVth(350, 5, 0, 3e9) != 0 ||
+		p.DeltaVth(350, 5, 0.5, 0) != 0 ||
+		p.DeltaVth(0, 5, 0.5, 3e9) != 0 {
+		t.Fatal("zero-stress inputs must give zero shift")
+	}
+}
+
+func TestHCIScalingLaws(t *testing.T) {
+	p := DefaultHCIParams()
+	base := p.DeltaVth(350, 4, 0.5, 3e9)
+	// Linear in frequency.
+	if r := p.DeltaVth(350, 4, 0.5, 6e9) / base; math.Abs(r-2) > 1e-9 {
+		t.Errorf("2× frequency ratio = %v", r)
+	}
+	// Linear in activity.
+	if r := p.DeltaVth(350, 4, 1.0, 3e9) / base; math.Abs(r-2) > 1e-9 {
+		t.Errorf("2× activity ratio = %v", r)
+	}
+	// t^0.48: 4× time gives 4^0.48 ≈ 1.945.
+	if r := p.DeltaVth(350, 16, 0.5, 3e9) / base; math.Abs(r-math.Pow(4, 0.48)) > 1e-9 {
+		t.Errorf("4× time ratio = %v", r)
+	}
+	// Activity clamps at 1.
+	if p.DeltaVth(350, 4, 1.7, 3e9) != p.DeltaVth(350, 4, 1.0, 3e9) {
+		t.Error("activity not clamped")
+	}
+}
+
+func TestCompositeDegradesMoreThanNBTIOnly(t *testing.T) {
+	c := testComposite(t)
+	nbti := c.NBTIOnly()
+	for _, T := range []float64{320, 350, 380} {
+		for _, y := range []float64{1, 5, 10} {
+			fc := c.FreqFactor(T, 0.7, y)
+			fn := nbti.FreqFactor(T, 0.7, y)
+			if fc >= fn {
+				t.Fatalf("composite %v not worse than NBTI-only %v at T=%v y=%v", fc, fn, T, y)
+			}
+		}
+	}
+}
+
+func TestCompositeHCIShareReasonable(t *testing.T) {
+	// HCI should contribute a minority share (~1/4–1/2) of total delay
+	// degradation at nominal conditions — matching silicon-odometer
+	// reports for logic at nominal Vdd.
+	c := testComposite(t)
+	nbti := c.NBTIOnly()
+	T, d, y := 350.0, 0.7, 10.0
+	totalLoss := 1 - c.FreqFactor(T, d, y)
+	nbtiLoss := 1 - nbti.FreqFactor(T, d, y)
+	hciShare := (totalLoss - nbtiLoss) / totalLoss
+	if hciShare < 0.1 || hciShare > 0.5 {
+		t.Fatalf("HCI share of total degradation = %.3f, want ≈0.2–0.4", hciShare)
+	}
+}
+
+func TestCompositeTableBuilds(t *testing.T) {
+	c := testComposite(t)
+	tab := DefaultTable(c)
+	// Same machinery: year-0 entries are exactly 1, aging monotone.
+	if f := tab.Lookup(350, 0.7, 0); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("year-0 factor %v", f)
+	}
+	prev := 1.0
+	for _, y := range []float64{1, 3, 5, 10} {
+		f := tab.Lookup(350, 0.7, y)
+		if f >= prev {
+			t.Fatalf("composite table not monotone at year %v", y)
+		}
+		prev = f
+	}
+	// Effective-age state machinery works on composite tables too.
+	s := NewState()
+	s.Advance(tab, 350, 0.7, 2)
+	if s.Factor >= 1 || s.Factor <= 0 {
+		t.Fatalf("state advance on composite table: %v", s.Factor)
+	}
+}
+
+// Property: composite FreqFactor is monotone non-increasing in T, duty and
+// years, like the base model.
+func TestCompositeMonotoneProperty(t *testing.T) {
+	c := testComposite(t)
+	f := func(rawT, rawD, rawY uint16) bool {
+		T := 300 + float64(rawT%110)
+		d := float64(rawD%100) / 100
+		y := float64(rawY%100) / 10
+		base := c.FreqFactor(T, d, y)
+		return c.FreqFactor(T+5, d, y) <= base+1e-12 &&
+			c.FreqFactor(T, math.Min(d+0.05, 1), y) <= base+1e-12 &&
+			c.FreqFactor(T, d, y+0.5) <= base+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

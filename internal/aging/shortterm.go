@@ -1,0 +1,149 @@
+package aging
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models short-term NBTI — the stress/recovery sawtooth of the
+// paper's Fig. 1(a). Under stress (Vgs = −Vdd) the threshold shift rises
+// toward a temperature-dependent saturation level; when the stress is
+// released (Vgs = 0) the shift partially recovers, but "100 % recovery is
+// not possible": a fraction of every increment is booked as permanent
+// damage, so the sawtooth's floor — the long-term aging — ratchets upward.
+//
+// The epoch engine does not need this model (duty cycle summarises the
+// stress/recovery balance at epoch scale, per reaction–diffusion theory);
+// it exists to reproduce Fig. 1(a) (cmd/experiments -fig 1a) and to
+// validate the duty-cycle abstraction.
+
+// ShortTermParams parameterise the sawtooth model.
+type ShortTermParams struct {
+	// SaturationVolt is the steady-stress ΔVth ceiling at TRef, in Volts.
+	SaturationVolt float64
+	// StressTau and RecoveryTau are the exponential time constants in
+	// seconds (recovery is slower than the initial capture).
+	StressTau, RecoveryTau float64
+	// RecoverableFraction of each stress increment can anneal out; the
+	// rest is permanent interface damage.
+	RecoverableFraction float64
+	// ActivationTemp Kelvin scales the saturation level with temperature
+	// like Eq. 7: A(T) = SaturationVolt · e^(−T_a/T) / e^(−T_a/TRef).
+	ActivationTemp float64
+	// TRef is the reference temperature in Kelvin.
+	TRef float64
+}
+
+// DefaultShortTermParams reproduce Fig. 1(a)'s qualitative shape at
+// second timescales.
+func DefaultShortTermParams() ShortTermParams {
+	return ShortTermParams{
+		SaturationVolt:      0.050,
+		StressTau:           0.8,
+		RecoveryTau:         2.4,
+		RecoverableFraction: 0.7,
+		ActivationTemp:      1500,
+		TRef:                330,
+	}
+}
+
+// Validate reports parameter errors.
+func (p ShortTermParams) Validate() error {
+	if p.SaturationVolt <= 0 || p.StressTau <= 0 || p.RecoveryTau <= 0 {
+		return fmt.Errorf("aging: non-positive short-term constants %+v", p)
+	}
+	if p.RecoverableFraction < 0 || p.RecoverableFraction > 1 {
+		return fmt.Errorf("aging: RecoverableFraction %v outside [0,1]", p.RecoverableFraction)
+	}
+	if p.ActivationTemp <= 0 || p.TRef <= 0 {
+		return fmt.Errorf("aging: invalid short-term temperatures %+v", p)
+	}
+	return nil
+}
+
+// saturation returns A(T) in Volts.
+func (p ShortTermParams) saturation(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	return p.SaturationVolt * math.Exp(-p.ActivationTemp/T) / math.Exp(-p.ActivationTemp/p.TRef)
+}
+
+// ShortTermState tracks the recoverable and permanent ΔVth components.
+type ShortTermState struct {
+	params ShortTermParams
+	// Recoverable and Permanent are the two ΔVth components in Volts.
+	Recoverable, Permanent float64
+}
+
+// NewShortTermState builds an unstressed state.
+func NewShortTermState(p ShortTermParams) (*ShortTermState, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &ShortTermState{params: p}, nil
+}
+
+// DeltaVth returns the current total threshold shift in Volts.
+func (s *ShortTermState) DeltaVth() float64 { return s.Recoverable + s.Permanent }
+
+// Stress advances dt seconds under stress at temperature T: the total
+// shift relaxes exponentially toward the saturation level; the permanent
+// share of each increment is booked separately.
+func (s *ShortTermState) Stress(dt, T float64) {
+	if dt <= 0 {
+		return
+	}
+	target := s.params.saturation(T)
+	cur := s.DeltaVth()
+	if cur >= target {
+		return // already saturated for this temperature
+	}
+	inc := (target - cur) * (1 - math.Exp(-dt/s.params.StressTau))
+	s.Recoverable += inc * s.params.RecoverableFraction
+	s.Permanent += inc * (1 - s.params.RecoverableFraction)
+}
+
+// Recover advances dt seconds with the stress released: the recoverable
+// component anneals exponentially; the permanent floor is untouched.
+func (s *ShortTermState) Recover(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.Recoverable *= math.Exp(-dt / s.params.RecoveryTau)
+}
+
+// Fig1aPoint is one sample of the stress/recovery trace.
+type Fig1aPoint struct {
+	Time    float64 // seconds
+	Shift   float64 // total ΔVth, Volts
+	Stressd bool    // whether the interval ending here was a stress phase
+}
+
+// Fig1aTrace simulates `cycles` alternating stress/recovery phases of the
+// given durations at temperature T, sampling every sampleDt seconds —
+// the data behind the paper's Fig. 1(a) sketch.
+func Fig1aTrace(p ShortTermParams, T, stressDur, recoverDur, sampleDt float64, cycles int) ([]Fig1aPoint, error) {
+	if stressDur <= 0 || recoverDur <= 0 || sampleDt <= 0 || cycles < 1 {
+		return nil, fmt.Errorf("aging: invalid Fig. 1(a) trace spec")
+	}
+	st, err := NewShortTermState(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig1aPoint
+	now := 0.0
+	for c := 0; c < cycles; c++ {
+		for t := 0.0; t < stressDur; t += sampleDt {
+			st.Stress(sampleDt, T)
+			now += sampleDt
+			out = append(out, Fig1aPoint{Time: now, Shift: st.DeltaVth(), Stressd: true})
+		}
+		for t := 0.0; t < recoverDur; t += sampleDt {
+			st.Recover(sampleDt)
+			now += sampleDt
+			out = append(out, Fig1aPoint{Time: now, Shift: st.DeltaVth(), Stressd: false})
+		}
+	}
+	return out, nil
+}

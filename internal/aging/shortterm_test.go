@@ -1,0 +1,163 @@
+package aging
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShortTermParamsValidate(t *testing.T) {
+	if err := DefaultShortTermParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ShortTermParams){
+		func(p *ShortTermParams) { p.SaturationVolt = 0 },
+		func(p *ShortTermParams) { p.StressTau = 0 },
+		func(p *ShortTermParams) { p.RecoveryTau = -1 },
+		func(p *ShortTermParams) { p.RecoverableFraction = 1.5 },
+		func(p *ShortTermParams) { p.ActivationTemp = 0 },
+		func(p *ShortTermParams) { p.TRef = 0 },
+	}
+	for i, mut := range bad {
+		p := DefaultShortTermParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+		if _, err := NewShortTermState(p); err == nil {
+			t.Errorf("case %d: NewShortTermState accepted", i)
+		}
+	}
+}
+
+func TestStressMonotoneAndSaturates(t *testing.T) {
+	st, err := NewShortTermState(DefaultShortTermParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 0; i < 200; i++ {
+		st.Stress(0.1, 330)
+		if st.DeltaVth() < prev {
+			t.Fatalf("shift decreased under stress at step %d", i)
+		}
+		prev = st.DeltaVth()
+	}
+	// After many time constants, at the saturation level.
+	want := DefaultShortTermParams().saturation(330)
+	if math.Abs(prev-want) > 1e-6 {
+		t.Fatalf("saturated at %v, want %v", prev, want)
+	}
+	// Further stress adds nothing.
+	st.Stress(1, 330)
+	if st.DeltaVth() > want+1e-9 {
+		t.Fatal("stress exceeded saturation")
+	}
+}
+
+func TestRecoveryIsPartial(t *testing.T) {
+	p := DefaultShortTermParams()
+	st, _ := NewShortTermState(p)
+	for i := 0; i < 100; i++ {
+		st.Stress(0.1, 340)
+	}
+	peak := st.DeltaVth()
+	perm := st.Permanent
+	// Recover for many time constants.
+	for i := 0; i < 100; i++ {
+		st.Recover(1.0)
+	}
+	if st.DeltaVth() > peak {
+		t.Fatal("recovery increased the shift")
+	}
+	if st.DeltaVth() < perm-1e-12 {
+		t.Fatalf("recovered below the permanent floor: %v < %v", st.DeltaVth(), perm)
+	}
+	if st.DeltaVth() > perm+1e-6 {
+		t.Fatalf("full recovery of the recoverable part expected, residual %v", st.DeltaVth()-perm)
+	}
+	if perm <= 0 {
+		t.Fatal("no permanent damage booked")
+	}
+}
+
+func TestHotterStressSaturatesHigher(t *testing.T) {
+	p := DefaultShortTermParams()
+	cool, _ := NewShortTermState(p)
+	hot, _ := NewShortTermState(p)
+	for i := 0; i < 200; i++ {
+		cool.Stress(0.1, 310)
+		hot.Stress(0.1, 380)
+	}
+	if hot.DeltaVth() <= cool.DeltaVth() {
+		t.Fatalf("hot saturation %v not above cool %v", hot.DeltaVth(), cool.DeltaVth())
+	}
+}
+
+func TestZeroDtNoops(t *testing.T) {
+	st, _ := NewShortTermState(DefaultShortTermParams())
+	st.Stress(1, 340)
+	before := st.DeltaVth()
+	st.Stress(0, 340)
+	st.Stress(-1, 340)
+	st.Recover(0)
+	st.Recover(-1)
+	if st.DeltaVth() != before {
+		t.Fatal("zero/negative dt changed state")
+	}
+}
+
+// Fig. 1(a): the trace must show the sawtooth (drop after each recovery
+// phase) with a ratcheting floor (long-term aging).
+func TestFig1aTraceShape(t *testing.T) {
+	pts, err := Fig1aTrace(DefaultShortTermParams(), 340, 2.0, 2.0, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Collect the value at the end of each recovery phase (the floor).
+	var floors []float64
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Stressd == false && pts[i].Stressd == true {
+			floors = append(floors, pts[i-1].Shift)
+		}
+	}
+	if len(floors) < 3 {
+		t.Fatalf("too few cycles detected: %d", len(floors))
+	}
+	for i := 1; i < len(floors); i++ {
+		if floors[i] <= floors[i-1] {
+			t.Fatalf("long-term floor not ratcheting: %v → %v", floors[i-1], floors[i])
+		}
+	}
+	// Sawtooth: each recovery phase ends below the preceding stress peak.
+	var peak float64
+	sawtooth := false
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Stressd {
+			if pts[i].Shift > peak {
+				peak = pts[i].Shift
+			}
+		} else if peak > 0 && pts[i].Shift < peak-1e-6 {
+			sawtooth = true
+		}
+	}
+	if !sawtooth {
+		t.Fatal("no recovery drops in the trace")
+	}
+}
+
+func TestFig1aTraceValidation(t *testing.T) {
+	if _, err := Fig1aTrace(DefaultShortTermParams(), 340, 0, 1, 0.1, 3); err == nil {
+		t.Error("zero stress duration accepted")
+	}
+	if _, err := Fig1aTrace(DefaultShortTermParams(), 340, 1, 1, 0.1, 0); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	bad := DefaultShortTermParams()
+	bad.StressTau = 0
+	if _, err := Fig1aTrace(bad, 340, 1, 1, 0.1, 3); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/kit-ces/hayat/internal/policy"
+	"github.com/kit-ces/hayat/internal/testutil"
+)
+
+func runPolicy(t *testing.T, pol policy.Policy, chipSeed int64) (policy.Result, *policy.Context) {
+	t.Helper()
+	fx := testutil.NewFixture(t, chipSeed)
+	ctx := fx.Context(0.50)
+	threads := testutil.Threads(t, 3, ctx.MaxOnCores, 4)
+	res, err := pol.Map(ctx, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return res, ctx
+}
+
+func TestRandomBasics(t *testing.T) {
+	res, ctx := runPolicy(t, NewRandom(7), 1)
+	if res.Assignment.NumAssigned() == 0 {
+		t.Fatal("nothing mapped")
+	}
+	if res.Assignment.NumAssigned() > ctx.MaxOnCores {
+		t.Fatal("budget exceeded")
+	}
+	for i := 0; i < res.Assignment.N(); i++ {
+		if th := res.Assignment.ThreadOn(i); th != nil && ctx.FMax[i] < th.MinFreq() {
+			t.Fatalf("core %d too slow for its thread", i)
+		}
+	}
+}
+
+func TestRandomDeterministicInSeed(t *testing.T) {
+	layout := func(seed int64) []int {
+		res, _ := runPolicy(t, NewRandom(seed), 2)
+		var out []int
+		for i := 0; i < res.Assignment.N(); i++ {
+			if res.Assignment.ThreadOn(i) != nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := layout(5), layout(5)
+	if len(a) != len(b) {
+		t.Fatal("same seed different sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed different layout")
+		}
+	}
+	c := layout(6)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical layouts (suspicious)")
+	}
+}
+
+func TestCoolestFirstPicksColdCores(t *testing.T) {
+	fx := testutil.NewFixture(t, 3)
+	ctx := fx.Context(0.50)
+	// Mark one half of the chip hot; the mapper must avoid it.
+	for i := 0; i < 32; i++ {
+		ctx.Temps[i] = 360
+	}
+	for i := 32; i < 64; i++ {
+		ctx.Temps[i] = 320
+	}
+	threads := testutil.Threads(t, 3, 16, 3)
+	pol := NewCoolestFirst()
+	res, err := pol.Map(ctx, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for i := 0; i < 32; i++ {
+		if res.Assignment.ThreadOn(i) != nil {
+			hot++
+		}
+	}
+	// Only threads whose frequency requirement cannot be met in the cold
+	// half may land hot.
+	if hot > res.Assignment.NumAssigned()/3 {
+		t.Fatalf("%d of %d threads landed on the hot half", hot, res.Assignment.NumAssigned())
+	}
+}
+
+func TestExtraPoliciesRejectInvalidContext(t *testing.T) {
+	fx := testutil.NewFixture(t, 1)
+	ctx := fx.Context(0.50)
+	ctx.TSafe = -1
+	for _, pol := range []policy.Policy{NewRandom(1), NewCoolestFirst()} {
+		if _, err := pol.Map(ctx, nil); err == nil {
+			t.Errorf("%s accepted invalid context", pol.Name())
+		}
+	}
+}
+
+func TestExtraPoliciesReportUnmappable(t *testing.T) {
+	fx := testutil.NewFixture(t, 1)
+	ctx := fx.Context(0.50)
+	for i := range ctx.FMax {
+		ctx.FMax[i] = 1e8
+	}
+	threads := testutil.Threads(t, 3, ctx.MaxOnCores, 4)
+	for _, pol := range []policy.Policy{NewRandom(1), NewCoolestFirst()} {
+		res, err := pol.Map(ctx, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Unmapped) != len(threads) || res.Assignment.NumAssigned() != 0 {
+			t.Errorf("%s mapped threads onto a too-slow chip", pol.Name())
+		}
+	}
+}

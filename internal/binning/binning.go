@@ -1,0 +1,106 @@
+// Package binning implements speed-grade binning — the industry view of
+// the process variation the paper exploits (its reference [26],
+// "cherry-picking", sells exactly this: exploiting per-core speed grades
+// in dark-silicon CMPs). Cores are classified into frequency grades;
+// tracking the grade histogram over the lifetime shows how many premium
+// cores each run-time policy preserves.
+package binning
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bins is an ascending list of grade boundaries in Hz: grade 0 is below
+// EdgesHz[0], grade i is [EdgesHz[i-1], EdgesHz[i]), the top grade is at
+// or above the last edge.
+type Bins struct {
+	EdgesHz []float64
+}
+
+// Default returns grades matching the paper's 2.5–4 GHz frequency range.
+func Default() Bins {
+	return Bins{EdgesHz: []float64{2.0e9, 2.5e9, 3.0e9, 3.5e9}}
+}
+
+// Validate reports edge errors.
+func (b Bins) Validate() error {
+	if len(b.EdgesHz) == 0 {
+		return fmt.Errorf("binning: no edges")
+	}
+	if b.EdgesHz[0] <= 0 {
+		return fmt.Errorf("binning: non-positive edge %v", b.EdgesHz[0])
+	}
+	for i := 1; i < len(b.EdgesHz); i++ {
+		if b.EdgesHz[i] <= b.EdgesHz[i-1] {
+			return fmt.Errorf("binning: edges not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// Grades returns the number of grades (len(edges)+1).
+func (b Bins) Grades() int { return len(b.EdgesHz) + 1 }
+
+// Classify returns the grade of frequency f.
+func (b Bins) Classify(f float64) int {
+	return sort.SearchFloat64s(b.EdgesHz, f+1) // first edge > f
+}
+
+// Histogram counts cores per grade.
+func (b Bins) Histogram(freqs []float64) []int {
+	h := make([]int, b.Grades())
+	for _, f := range freqs {
+		h[b.Classify(f)]++
+	}
+	return h
+}
+
+// Label returns a human-readable grade label.
+func (b Bins) Label(grade int) string {
+	switch {
+	case grade <= 0:
+		return fmt.Sprintf("<%.1fGHz", b.EdgesHz[0]/1e9)
+	case grade >= len(b.EdgesHz):
+		return fmt.Sprintf("≥%.1fGHz", b.EdgesHz[len(b.EdgesHz)-1]/1e9)
+	default:
+		return fmt.Sprintf("%.1f–%.1fGHz", b.EdgesHz[grade-1]/1e9, b.EdgesHz[grade]/1e9)
+	}
+}
+
+// Shift summarises how a frequency population moved between two points in
+// time: per-grade counts before/after plus the number of cores that
+// dropped at least one grade.
+type Shift struct {
+	Before, After []int
+	Downgraded    int
+}
+
+// ComputeShift classifies both populations (same length, same core order).
+func (b Bins) ComputeShift(before, after []float64) (Shift, error) {
+	if err := b.Validate(); err != nil {
+		return Shift{}, err
+	}
+	if len(before) != len(after) {
+		return Shift{}, fmt.Errorf("binning: population sizes differ (%d vs %d)", len(before), len(after))
+	}
+	s := Shift{Before: b.Histogram(before), After: b.Histogram(after)}
+	for i := range before {
+		if b.Classify(after[i]) < b.Classify(before[i]) {
+			s.Downgraded++
+		}
+	}
+	return s, nil
+}
+
+// Render formats a shift as an aligned text block.
+func (b Bins) Render(title string, s Shift) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "%s\n", title)
+	for g := b.Grades() - 1; g >= 0; g-- {
+		fmt.Fprintf(&out, "  %-12s %4d → %4d\n", b.Label(g), s.Before[g], s.After[g])
+	}
+	fmt.Fprintf(&out, "  cores downgraded ≥1 grade: %d\n", s.Downgraded)
+	return out.String()
+}

@@ -1,0 +1,125 @@
+package binning
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Default().Grades() != 5 {
+		t.Fatalf("grades = %d", Default().Grades())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for name, b := range map[string]Bins{
+		"empty":         {},
+		"non-positive":  {EdgesHz: []float64{0, 1e9}},
+		"non-ascending": {EdgesHz: []float64{2e9, 2e9}},
+	} {
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	b := Default() // edges 2.0, 2.5, 3.0, 3.5 GHz
+	cases := map[float64]int{
+		1.5e9:  0,
+		2.0e9:  1,
+		2.49e9: 1,
+		2.5e9:  2,
+		3.2e9:  3,
+		3.5e9:  4,
+		4.2e9:  4,
+	}
+	for f, want := range cases {
+		if got := b.Classify(f); got != want {
+			t.Errorf("Classify(%v) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestHistogramAndLabels(t *testing.T) {
+	b := Default()
+	h := b.Histogram([]float64{1.9e9, 2.1e9, 2.6e9, 3.1e9, 3.9e9, 3.8e9})
+	want := []int{1, 1, 1, 1, 2}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", h, want)
+		}
+	}
+	if b.Label(0) != "<2.0GHz" || b.Label(4) != "≥3.5GHz" {
+		t.Fatalf("edge labels: %q / %q", b.Label(0), b.Label(4))
+	}
+	if b.Label(2) != "2.5–3.0GHz" {
+		t.Fatalf("mid label: %q", b.Label(2))
+	}
+}
+
+func TestComputeShift(t *testing.T) {
+	b := Default()
+	before := []float64{3.6e9, 3.1e9, 2.6e9, 2.1e9}
+	after := []float64{3.4e9, 3.05e9, 2.2e9, 2.05e9} // grades: 3,3,1,1 from 4,3,2,1
+	s, err := b.ComputeShift(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Downgraded != 2 {
+		t.Fatalf("downgraded = %d, want 2", s.Downgraded)
+	}
+	out := b.Render("t", s)
+	if !strings.Contains(out, "downgraded ≥1 grade: 2") {
+		t.Fatalf("render: %s", out)
+	}
+	if _, err := b.ComputeShift(before, after[:2]); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := (Bins{}).ComputeShift(before, after); err == nil {
+		t.Fatal("invalid bins accepted")
+	}
+}
+
+// Property: histogram counts always sum to the population size, and
+// aging (frequencies only ever decrease) never upgrades a core.
+func TestShiftProperties(t *testing.T) {
+	b := Default()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		before := make([]float64, len(raw))
+		after := make([]float64, len(raw))
+		for i, r := range raw {
+			before[i] = 1.5e9 + float64(r%250)*1e7
+			after[i] = before[i] * 0.9 // uniform 10 % aging
+		}
+		s, err := b.ComputeShift(before, after)
+		if err != nil {
+			return false
+		}
+		sumB, sumA := 0, 0
+		for g := 0; g < b.Grades(); g++ {
+			sumB += s.Before[g]
+			sumA += s.After[g]
+		}
+		if sumB != len(raw) || sumA != len(raw) {
+			return false
+		}
+		// No core may move to a higher grade under pure decay.
+		for i := range before {
+			if b.Classify(after[i]) > b.Classify(before[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

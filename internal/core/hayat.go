@@ -1,0 +1,365 @@
+// Package core implements Hayat — the paper's primary contribution: the
+// variation- and dark-silicon-aware run-time aging-management heuristic of
+// Algorithm 1 plus the online health-map estimation of Section IV-B.
+//
+// For every runnable thread, Hayat evaluates each eligible candidate core:
+// it predicts the chip's temperature response to placing the thread there
+// (through the learned online thermal predictor), discards candidates that
+// would violate T_safe (Eq. 4), estimates each core's next health through
+// the offline 3D aging tables, and scores the candidate with the
+// empirical weighting function of Eq. 9:
+//
+//	w = min(w_max, α/(f_max,i − f_req)) + β·H_cand,next/H_cand,t
+//
+// The first term matches threads tightly to cores that are just fast
+// enough — preserving high-frequency cores for later lifetime years or
+// deadline-critical work — and the second prefers candidates whose health
+// would degrade least, which implicitly spreads load away from hot
+// clusters. The (α, β) pair switches between an early-aging preset
+// (α = 0.6, β = 1: health-driven balancing) and a late-aging preset
+// (α = 4, β = 0.3: strict frequency matching) as the chip's average
+// health declines.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/kit-ces/hayat/internal/mapping"
+	"github.com/kit-ces/hayat/internal/policy"
+	"github.com/kit-ces/hayat/internal/workload"
+)
+
+// Config holds the Hayat tuning constants (Section V).
+type Config struct {
+	// AlphaEarly/BetaEarly apply while the chip is young (average health
+	// above LateAgingThreshold); AlphaLate/BetaLate afterwards.
+	AlphaEarly, BetaEarly float64
+	AlphaLate, BetaLate   float64
+	// WMax caps the frequency-matching term (paper: 10).
+	WMax float64
+	// LateAgingThreshold is the average-health boundary between the
+	// early- and late-aging weight presets.
+	LateAgingThreshold float64
+	// AffectedDeltaK prunes health re-evaluation to cores whose predicted
+	// temperature moves by at least this many Kelvin for a candidate
+	// (Algorithm 1 line 8's "might only be required for cores that are
+	// affected"). Zero disables pruning (the FullPredict ablation).
+	AffectedDeltaK float64
+	// SpreadWeight and SpreadCap implement Hayat's first duty — the
+	// temperature-optimising Dark Core Map (Section I-B contribution (1),
+	// Fig. 2(h,p)): each candidate earns SpreadWeight per Manhattan hop
+	// of distance (capped at SpreadCap hops) to the nearest already
+	// powered core, so the powered set spreads across the die and dark
+	// cores sit between active ones as heat-escape paths. Setting
+	// SpreadWeight to zero disables DCM optimisation (an ablation: the
+	// mapping then degenerates to VAA-like clustering on correlated
+	// variation maps).
+	SpreadWeight float64
+	SpreadCap    int
+	// WastePenaltyPerGHz subtracts weight proportional to the frequency
+	// slack (f_max,cand − f_req) in GHz. Eq. 9's reciprocal term rewards
+	// tight matches but decays too slowly to stop the spread bonus from
+	// parking slow threads on rare fast cores; the linear penalty makes
+	// "do not waste fast cores" explicit (the paper's own weighting is
+	// described as empirically formulated).
+	WastePenaltyPerGHz float64
+	// IncumbentWeight rewards candidates that were already powered in the
+	// previous epoch's DCM. Keeping the powered set stable matters under
+	// reaction–diffusion aging: y^(1/6) is concave, so rotating stress
+	// onto fresh cores ages the chip average faster than re-using an
+	// already-stressed (but cooler, spread) set.
+	IncumbentWeight float64
+}
+
+// DefaultConfig returns the paper's experimentally chosen constants.
+func DefaultConfig() Config {
+	return Config{
+		AlphaEarly: 0.6, BetaEarly: 1.0,
+		AlphaLate: 4.0, BetaLate: 0.3,
+		WMax:               10,
+		LateAgingThreshold: 0.96,
+		AffectedDeltaK:     0.05,
+		SpreadWeight:       0.8,
+		SpreadCap:          4,
+		WastePenaltyPerGHz: 0.6,
+		IncumbentWeight:    8.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.AlphaEarly <= 0 || c.AlphaLate <= 0 {
+		return fmt.Errorf("hayat: alpha coefficients must be positive")
+	}
+	if c.BetaEarly < 0 || c.BetaLate < 0 {
+		return fmt.Errorf("hayat: beta coefficients must be non-negative")
+	}
+	if c.WMax <= 0 {
+		return fmt.Errorf("hayat: WMax must be positive, got %v", c.WMax)
+	}
+	if c.LateAgingThreshold <= 0 || c.LateAgingThreshold > 1 {
+		return fmt.Errorf("hayat: LateAgingThreshold %v outside (0,1]", c.LateAgingThreshold)
+	}
+	if c.AffectedDeltaK < 0 {
+		return fmt.Errorf("hayat: negative AffectedDeltaK")
+	}
+	if c.SpreadWeight < 0 || c.SpreadCap < 0 {
+		return fmt.Errorf("hayat: negative spread parameters")
+	}
+	if c.WastePenaltyPerGHz < 0 {
+		return fmt.Errorf("hayat: negative WastePenaltyPerGHz")
+	}
+	if c.IncumbentWeight < 0 {
+		return fmt.Errorf("hayat: negative IncumbentWeight")
+	}
+	return nil
+}
+
+// Hayat is the run-time aging manager. The zero value is not usable; use
+// New.
+type Hayat struct {
+	cfg Config
+}
+
+// New builds a Hayat policy. The config must validate.
+func New(cfg Config) (*Hayat, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hayat{cfg: cfg}, nil
+}
+
+// Name implements policy.Policy.
+func (h *Hayat) Name() string { return "Hayat" }
+
+// weights returns the active (α, β) pair for the chip's average health.
+func (h *Hayat) weights(avgHealth float64) (alpha, beta float64) {
+	if avgHealth < h.cfg.LateAgingThreshold {
+		return h.cfg.AlphaLate, h.cfg.BetaLate
+	}
+	return h.cfg.AlphaEarly, h.cfg.BetaEarly
+}
+
+// candidate is one entry of the solution list S of Algorithm 1.
+type candidate struct {
+	core     int
+	weight   float64
+	hAvgNext float64
+	tMaxNext float64
+}
+
+// Map implements Algorithm 1 for a full remap (epoch boundary).
+func (h *Hayat) Map(ctx *policy.Context, threads []*workload.Thread) (policy.Result, error) {
+	return h.place(ctx, nil, threads)
+}
+
+// MapIncremental places newly arrived threads into an existing assignment
+// without disturbing running ones — the paper's mid-epoch case ("a new
+// application starts within an aging epoch, typically in intervals of
+// several minutes after the previous decision"), whose cost Section VI
+// quotes as ≈1.6 ms worst case. The existing assignment is cloned, not
+// mutated.
+func (h *Hayat) MapIncremental(ctx *policy.Context, existing *mapping.Assignment, newThreads []*workload.Thread) (policy.Result, error) {
+	return h.place(ctx, existing, newThreads)
+}
+
+// place is the shared Algorithm 1 engine; existing may be nil.
+func (h *Hayat) place(ctx *policy.Context, existing *mapping.Assignment, threads []*workload.Thread) (policy.Result, error) {
+	if err := ctx.Validate(); err != nil {
+		return policy.Result{}, err
+	}
+	n := ctx.N()
+	var asg *mapping.Assignment
+	if existing != nil {
+		if existing.N() != n {
+			return policy.Result{}, fmt.Errorf("hayat: existing assignment sized %d, chip has %d cores", existing.N(), n)
+		}
+		asg = existing.Clone()
+	} else {
+		asg = mapping.New(n)
+	}
+
+	// Sort threads most-demanding first so scarce fast cores are
+	// contended for before they are hidden behind slack ones.
+	order := append([]*workload.Thread(nil), threads...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].MinFreq() > order[j].MinFreq() })
+
+	avgHealth := 0.0
+	for i := range ctx.Health {
+		avgHealth += ctx.Health[i].Factor
+	}
+	avgHealth /= float64(n)
+	alpha, beta := h.weights(avgHealth)
+
+	// Running state of the partial mapping, seeded from any pre-existing
+	// assignment.
+	pdyn := make([]float64, n)
+	on := make([]bool, n)
+	duty := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if th := asg.ThreadOn(i); th != nil {
+			pdyn[i] = ctx.ThreadDynPower(th)
+			on[i] = true
+			duty[i] = ctx.DutyMode.Duty(th)
+		}
+	}
+	base := ctx.Predictor.Predict(nil, pdyn, on)
+
+	// Cache the per-core effective age at the base temperature once per
+	// Map call; candidate evaluation then needs only forward lookups.
+	yEq := make([]float64, n)
+	baselineHNext := make([]float64, n)
+	refreshAgingCache := func() {
+		for i := 0; i < n; i++ {
+			d := duty[i]
+			yEq[i] = ctx.AgingTable.EffectiveAge(base[i], d, ctx.Health[i].Factor)
+			baselineHNext[i] = h.lookupNext(ctx, base[i], d, yEq[i])
+		}
+	}
+	refreshAgingCache()
+
+	var result policy.Result
+	tNext := make([]float64, n)
+
+	for _, t := range order {
+		if asg.NumAssigned() >= ctx.MaxOnCores {
+			result.Unmapped = append(result.Unmapped, t)
+			continue
+		}
+		reqF, feasible := ctx.RequiredFreq(t)
+		if !feasible {
+			result.Unmapped = append(result.Unmapped, t)
+			continue
+		}
+		dynP := ctx.ThreadDynPower(t)
+		tDuty := ctx.DutyMode.Duty(t)
+
+		var cands []candidate
+		for cand := 0; cand < n; cand++ {
+			if on[cand] || ctx.FMax[cand] < reqF {
+				continue
+			}
+			addPower := ctx.Predictor.CandidatePower(cand, dynP, base[cand])
+			ctx.Predictor.DeltaPredict(tNext, base, cand, addPower)
+
+			// Eq. 4 admission: every core must stay below T_safe.
+			tMax := 0.0
+			violates := false
+			for i := 0; i < n; i++ {
+				if tNext[i] > tMax {
+					tMax = tNext[i]
+				}
+				if tNext[i] > ctx.TSafe {
+					violates = true
+					break
+				}
+			}
+			if violates {
+				continue
+			}
+
+			// estimateNextHealth: re-evaluate only thermally affected
+			// cores; the rest keep their baseline prediction.
+			hSum := 0.0
+			for i := 0; i < n; i++ {
+				dT := tNext[i] - base[i]
+				if i == cand {
+					// The candidate changes both temperature and duty.
+					yc := ctx.AgingTable.EffectiveAge(tNext[i], tDuty, ctx.Health[i].Factor)
+					hSum += h.lookupNext(ctx, tNext[i], tDuty, yc)
+					continue
+				}
+				if h.cfg.AffectedDeltaK > 0 && dT < h.cfg.AffectedDeltaK {
+					hSum += baselineHNext[i]
+					continue
+				}
+				hSum += h.lookupNext(ctx, tNext[i], duty[i], yEq[i])
+			}
+			hAvgNext := hSum / float64(n)
+
+			yc := ctx.AgingTable.EffectiveAge(tNext[cand], tDuty, ctx.Health[cand].Factor)
+			hCandNext := h.lookupNext(ctx, tNext[cand], tDuty, yc)
+			hCandNow := ctx.Health[cand].Factor
+
+			// Eq. 9 plus the DCM-optimisation spread term (see Config).
+			dfGHz := (ctx.FMax[cand] - reqF) / 1e9
+			wFreq := h.cfg.WMax
+			if dfGHz > 0 {
+				wFreq = math.Min(h.cfg.WMax, alpha/dfGHz)
+			}
+			spread := 0.0
+			if h.cfg.SpreadWeight > 0 {
+				dist := h.cfg.SpreadCap
+				if asg.NumAssigned() == 0 {
+					// No anchor yet: seed the DCM at the coolest region.
+					dist = h.cfg.SpreadCap
+					if ctx.Temps[cand] > ctx.TSafe-2*(ctx.TSafe-ctx.Predictor.Ambient())/3 {
+						dist = 0
+					}
+				} else {
+					for i := 0; i < n; i++ {
+						if !on[i] {
+							continue
+						}
+						if d := ctx.Chip.Floorplan.ManhattanDistance(cand, i); d < dist {
+							dist = d
+						}
+					}
+				}
+				spread = h.cfg.SpreadWeight * float64(dist)
+			}
+			w := wFreq + beta*hCandNext/hCandNow + spread - h.cfg.WastePenaltyPerGHz*dfGHz
+			if ctx.PrevOn != nil && ctx.PrevOn[cand] {
+				w += h.cfg.IncumbentWeight
+			}
+
+			cands = append(cands, candidate{core: cand, weight: w, hAvgNext: hAvgNext, tMaxNext: tMax})
+		}
+		if len(cands) == 0 {
+			result.Unmapped = append(result.Unmapped, t)
+			continue
+		}
+		// S.sort-by(weight), tie-broken by chip-average next health, then
+		// by peak temperature.
+		sort.SliceStable(cands, func(a, b int) bool {
+			ca, cb := cands[a], cands[b]
+			if ca.weight != cb.weight {
+				return ca.weight > cb.weight
+			}
+			if ca.hAvgNext != cb.hAvgNext {
+				return ca.hAvgNext > cb.hAvgNext
+			}
+			return ca.tMaxNext < cb.tMaxNext
+		})
+		best := cands[0].core
+		if err := asg.Assign(t, best); err != nil {
+			return policy.Result{}, fmt.Errorf("hayat: %w", err)
+		}
+		pdyn[best] = dynP
+		on[best] = true
+		duty[best] = tDuty
+		// Full re-prediction re-synchronises the leakage correction, then
+		// the aging cache follows the new base temperatures.
+		base = ctx.Predictor.Predict(base, pdyn, on)
+		refreshAgingCache()
+	}
+	result.Assignment = asg
+	return result, nil
+}
+
+// lookupNext reads the predicted health after the context horizon for a
+// core whose effective age at (T, d) is yEq, clamping at the current
+// factor (aging cannot improve health).
+func (h *Hayat) lookupNext(ctx *policy.Context, T, d, yEq float64) float64 {
+	return ctx.AgingTable.Lookup(T, d, yEq+ctx.HorizonYears)
+}
+
+var _ policy.Policy = (*Hayat)(nil)
+
+// EstimateNextHealth is the overhead-benchmark entry point of Section VI:
+// one health estimate for one core at predicted temperature T and duty d.
+func EstimateNextHealth(ctx *policy.Context, core int, T, d float64) float64 {
+	return ctx.Health[core].PredictFactor(ctx.AgingTable, T, d, ctx.HorizonYears)
+}

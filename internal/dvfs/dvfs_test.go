@@ -1,0 +1,116 @@
+package dvfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	l, err := Uniform(1e9, 4e9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 7 || l[0] != 1e9 || l[6] != 4e9 {
+		t.Fatalf("ladder = %v", l)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][3]float64{{0, 4e9, 5}, {1e9, 1e9, 5}, {1e9, 4e9, 1}} {
+		if _, err := Uniform(bad[0], bad[1], int(bad[2])); err == nil {
+			t.Errorf("Uniform(%v) accepted", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Levels)(nil).Validate(); err != nil {
+		t.Error("nil ladder must validate (continuous DVFS)")
+	}
+	if err := (Levels{-1, 2}).Validate(); err == nil {
+		t.Error("negative level accepted")
+	}
+	if err := (Levels{2e9, 2e9}).Validate(); err == nil {
+		t.Error("non-ascending ladder accepted")
+	}
+}
+
+func TestRequired(t *testing.T) {
+	l := Levels{1e9, 2e9, 3e9}
+	cases := []struct {
+		in   float64
+		want float64
+		ok   bool
+	}{
+		{0.5e9, 1e9, true},
+		{1e9, 1e9, true},
+		{1.1e9, 2e9, true},
+		{3e9, 3e9, true},
+		{3.1e9, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := l.Required(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Required(%v) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	// Continuous passthrough.
+	if f, ok := (Levels)(nil).Required(2.345e9); !ok || f != 2.345e9 {
+		t.Error("nil ladder must pass through")
+	}
+}
+
+func TestCap(t *testing.T) {
+	l := Levels{1e9, 2e9, 3e9}
+	cases := []struct {
+		in   float64
+		want float64
+		ok   bool
+	}{
+		{0.5e9, 0, false},
+		{1e9, 1e9, true},
+		{2.9e9, 2e9, true},
+		{3e9, 3e9, true},
+		{9e9, 3e9, true},
+	}
+	for _, c := range cases {
+		got, ok := l.Cap(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Cap(%v) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	if f, ok := (Levels)(nil).Cap(2.5e9); !ok || f != 2.5e9 {
+		t.Error("nil ladder must pass through")
+	}
+}
+
+// Property: Required(f) ≥ f when it succeeds, and Cap(f) ≤ f; both return
+// ladder members.
+func TestLadderProperties(t *testing.T) {
+	l := Levels{0.8e9, 1.6e9, 2.4e9, 3.2e9, 4.0e9}
+	member := func(v float64) bool {
+		for _, x := range l {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(raw uint32) bool {
+		in := float64(raw%50) * 1e8 // 0–5 GHz
+		if up, ok := l.Required(in); ok {
+			if up < in || !member(up) {
+				return false
+			}
+		}
+		if down, ok := l.Cap(in); ok {
+			if down > in || !member(down) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/kit-ces/hayat/internal/aging"
+	"github.com/kit-ces/hayat/internal/baseline"
+	"github.com/kit-ces/hayat/internal/core"
+	"github.com/kit-ces/hayat/internal/floorplan"
+	"github.com/kit-ces/hayat/internal/gates"
+	"github.com/kit-ces/hayat/internal/policy"
+	"github.com/kit-ces/hayat/internal/power"
+	"github.com/kit-ces/hayat/internal/thermal"
+	"github.com/kit-ces/hayat/internal/thermpredict"
+	"github.com/kit-ces/hayat/internal/variation"
+	"github.com/kit-ces/hayat/internal/workload"
+)
+
+// smallContext builds a 3×4-core platform small enough for exhaustive
+// search.
+func smallContext(t *testing.T, seed int64) *policy.Context {
+	t.Helper()
+	fp := floorplan.New(3, 4)
+	tm, err := thermal.New(fp, thermal.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := variation.NewGenerator(variation.DefaultModel(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := gen.Chip(seed)
+	pm := power.DefaultModel()
+	pred, err := thermpredict.Learn(tm, pm, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := aging.NewCoreAging(aging.DefaultParams(), gates.Generate(gates.DefaultGenerateConfig(), seed))
+	n := fp.N()
+	ctx := &policy.Context{
+		Chip: chip, Predictor: pred, AgingTable: aging.DefaultTable(ca), PowerModel: pm,
+		TSafe: 368.15, MaxOnCores: n - 2, HorizonYears: 0.5, DutyMode: policy.DutyKnown,
+		Health: make([]aging.State, n),
+		FMax:   append([]float64(nil), chip.FMax0...),
+		Temps:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		ctx.Health[i] = aging.NewState()
+		ctx.Temps[i] = tm.Ambient()
+	}
+	return ctx
+}
+
+func smallThreads(t *testing.T, count int) []*workload.Thread {
+	t.Helper()
+	p, _ := workload.ProfileByName("swaptions")
+	app, err := workload.NewApp(p, 0, count, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.Threads[:count]
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{MaxNodes: 0}); err == nil {
+		t.Fatal("zero node budget accepted")
+	}
+}
+
+func TestExactMapsAllFeasibleThreads(t *testing.T) {
+	ctx := smallContext(t, 1)
+	threads := smallThreads(t, 4)
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Map(ctx, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unmapped) != 0 {
+		t.Fatalf("%d threads unmapped on an easy instance", len(res.Unmapped))
+	}
+	// Constraints.
+	for i := 0; i < res.Assignment.N(); i++ {
+		if th := res.Assignment.ThreadOn(i); th != nil && ctx.FMax[i] < th.MinFreq() {
+			t.Fatalf("core %d too slow", i)
+		}
+	}
+	_, _, ok := Objective(ctx, res.Assignment)
+	if !ok {
+		t.Fatal("optimal assignment violates TSafe")
+	}
+}
+
+func TestExactBeatsOrMatchesHeuristics(t *testing.T) {
+	// The whole point of the exact reference: no heuristic may exceed the
+	// enumerated optimum.
+	for seed := int64(1); seed <= 3; seed++ {
+		ctx := smallContext(t, seed)
+		threads := smallThreads(t, 4)
+		s, _ := New(DefaultConfig())
+		exactRes, err := s.Map(ctx, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exMapped, exHealth, ok := Objective(ctx, exactRes.Assignment)
+		if !ok {
+			t.Fatal("exact solution infeasible")
+		}
+		hay, _ := core.New(core.DefaultConfig())
+		vaa, _ := baseline.New(baseline.DefaultConfig())
+		for _, pol := range []policy.Policy{hay, vaa} {
+			hres, err := pol.Map(ctx, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hMapped, hHealth, hok := Objective(ctx, hres.Assignment)
+			if !hok {
+				t.Fatalf("seed %d: %s produced a TSafe-violating mapping", seed, pol.Name())
+			}
+			if hMapped > exMapped {
+				t.Fatalf("seed %d: %s mapped %d > exact %d", seed, pol.Name(), hMapped, exMapped)
+			}
+			if hMapped == exMapped && hHealth > exHealth+1e-9 {
+				t.Fatalf("seed %d: %s health %.9f beats exact %.9f", seed, pol.Name(), hHealth, exHealth)
+			}
+		}
+	}
+}
+
+func TestHayatOptimalityGapSmall(t *testing.T) {
+	// On easy instances Hayat should land within a small health gap of
+	// the optimum (it optimises a richer objective, so exact equality is
+	// not required).
+	ctx := smallContext(t, 2)
+	threads := smallThreads(t, 4)
+	s, _ := New(DefaultConfig())
+	exactRes, err := s.Map(ctx, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exHealth, _ := Objective(ctx, exactRes.Assignment)
+	hay, _ := core.New(core.DefaultConfig())
+	hres, err := hay.Map(ctx, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hMapped, hHealth, _ := Objective(ctx, hres.Assignment)
+	if hMapped != len(threads) {
+		t.Fatalf("Hayat mapped only %d/%d", hMapped, len(threads))
+	}
+	gap := (exHealth - hHealth) / exHealth
+	if gap > 0.01 {
+		t.Fatalf("Hayat health gap %.4f%% too large", gap*100)
+	}
+}
+
+func TestExactRespectsDarkBudget(t *testing.T) {
+	ctx := smallContext(t, 1)
+	ctx.MaxOnCores = 2
+	threads := smallThreads(t, 4)
+	s, _ := New(DefaultConfig())
+	res, err := s.Map(ctx, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.NumAssigned() > 2 {
+		t.Fatalf("budget violated: %d on", res.Assignment.NumAssigned())
+	}
+	if len(res.Unmapped) != 2 {
+		t.Fatalf("unmapped = %d, want 2", len(res.Unmapped))
+	}
+}
+
+func TestExactNodeBudgetExceeded(t *testing.T) {
+	ctx := smallContext(t, 1)
+	threads := smallThreads(t, 6)
+	s, _ := New(Config{MaxNodes: 10})
+	_, err := s.Map(ctx, threads)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactUnmappableThreads(t *testing.T) {
+	ctx := smallContext(t, 1)
+	for i := range ctx.FMax {
+		ctx.FMax[i] = 1e8 // everything too slow
+	}
+	threads := smallThreads(t, 3)
+	s, _ := New(DefaultConfig())
+	res, err := s.Map(ctx, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.NumAssigned() != 0 || len(res.Unmapped) != 3 {
+		t.Fatal("slow chip should map nothing")
+	}
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1bShape(t *testing.T) {
+	series, tsv := Fig1b(1, 10)
+	if len(series) != 4 {
+		t.Fatalf("temperature family size %d", len(series))
+	}
+	for tc, s := range series {
+		if len(s) != 11 {
+			t.Fatalf("%d°C series length %d", tc, len(s))
+		}
+		if s[0] != 1 {
+			t.Fatalf("%d°C year-0 factor %v", tc, s[0])
+		}
+		for y := 1; y < len(s); y++ {
+			if s[y] < s[y-1] {
+				t.Fatalf("%d°C factor decreases at year %d", tc, y)
+			}
+		}
+	}
+	// Hotter curves sit above colder curves at year 10.
+	if !(series[140][10] > series[100][10] && series[100][10] > series[75][10] && series[75][10] > series[25][10]) {
+		t.Fatal("temperature ordering violated at year 10")
+	}
+	if !strings.Contains(tsv, "140C") {
+		t.Fatal("TSV header incomplete")
+	}
+}
+
+func TestPlatformKitAndPolicies(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kits, err := p.Kits(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kits) != 2 || kits[0].Chip.Seed != 1 || kits[1].Chip.Seed != 2 {
+		t.Fatal("kit seeding wrong")
+	}
+	if _, err := NewPolicy("Hayat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPolicy("VAA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFig2AnalysisShort(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips, err := p.Fig2([]int64{1}, 1 /* year, keeps the test fast */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != 2 {
+		t.Fatalf("%d analyses, want 2 (two DCMs)", len(chips))
+	}
+	for _, c := range chips {
+		if c.AvgF10 >= c.AvgF0 {
+			t.Fatalf("%s: no aging (%.3f → %.3f)", c.DCMName, c.AvgF0, c.AvgF10)
+		}
+		if c.MaxT < c.AvgT || c.AvgT < 318 {
+			t.Fatalf("%s: temperatures implausible (max %.1f avg %.1f)", c.DCMName, c.MaxT, c.AvgT)
+		}
+	}
+	table := Fig2oTable(chips)
+	if !strings.Contains(table, "DCM-1") || !strings.Contains(table, "DCM-2") {
+		t.Fatalf("table missing DCM rows:\n%s", table)
+	}
+	maps := p.RenderFig2Maps(chips[0])
+	if !strings.Contains(maps, "year 10") || !strings.Contains(maps, "heat map") {
+		t.Fatalf("maps rendering incomplete:\n%s", maps)
+	}
+}
+
+func TestRunPairSmall(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kits, err := p.Kits(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := p.RunPair(kits, 0.50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Hayat.Chips != 2 || ps.VAA.Chips != 2 {
+		t.Fatal("population sizes wrong")
+	}
+	if ps.Comparison.DarkFraction != 0.50 {
+		t.Fatal("comparison dark fraction wrong")
+	}
+	bars := RenderBars(ps)
+	for _, want := range []string{"Fig. 7", "Fig. 8", "Fig. 9", "Fig.10", "raw:"} {
+		if !strings.Contains(bars, want) {
+			t.Fatalf("bars missing %q:\n%s", want, bars)
+		}
+	}
+	series := Fig11Series([]PairSummary{ps})
+	if !strings.Contains(series, "Hayat_GHz") {
+		t.Fatal("Fig. 11 series malformed")
+	}
+	life := Fig11Lifetimes([]PairSummary{ps}, []float64{1})
+	if !strings.Contains(life, "threshold") {
+		t.Fatal("Fig. 11 lifetimes malformed")
+	}
+}
+
+func TestOverheadRuns(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Overhead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EstimateNextHealth <= 0 || r.PredictTemperature <= 0 || r.FullMapDecision <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+	// Sanity: the full decision costs more than a single primitive.
+	if r.FullMapDecision < r.PredictTemperature {
+		t.Fatalf("full decision (%v) cheaper than one prediction (%v)", r.FullMapDecision, r.PredictTemperature)
+	}
+}
+
+func TestSVGHelpers(t *testing.T) {
+	if svg := SVGFig1b(1, 5); !strings.Contains(svg, "</svg>") || !strings.Contains(svg, "140") {
+		t.Fatal("Fig. 1(b) SVG malformed")
+	}
+	svg1a, err := SVGFig1a(340)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg1a, "ΔVth") {
+		t.Fatal("Fig. 1(a) SVG malformed")
+	}
+	if _, tsv, err := Fig1a(340); err != nil || !strings.Contains(tsv, "dVth_mV") {
+		t.Fatalf("Fig1a TSV malformed: %v", err)
+	}
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kits, err := p.Kits(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := p.RunPair(kits, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg := SVGFigBars(ps); !strings.Contains(svg, "Fig.7 DTM events") {
+		t.Fatal("bars SVG malformed")
+	}
+	if svg := SVGFig11(ps); !strings.Contains(svg, "Hayat") || !strings.Contains(svg, "VAA") {
+		t.Fatal("Fig. 11 SVG malformed")
+	}
+	chips, err := p.Fig2([]int64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg := p.SVGFig2Temps(chips[0]); !strings.Contains(svg, "steady-state") {
+		t.Fatal("Fig. 2 temp SVG malformed")
+	}
+	if svg := p.SVGFreqMap("f", chips[0].FreqYr0); !strings.Contains(svg, "</svg>") {
+		t.Fatal("freq map SVG malformed")
+	}
+}
+
+func TestGuardbandAnalysis(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kits, err := p.Kits(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, table, err := p.Guardband(kits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Static <= 0 || r.Static >= 0.5 {
+			t.Fatalf("chip %d static guardband %v implausible", r.ChipSeed, r.Static)
+		}
+		// The static (worst-case-corner) reserve must dominate what the
+		// managed chip actually suffers.
+		if r.Hayat > r.Static || r.VAA > r.Static {
+			t.Fatalf("chip %d degradation exceeds the worst-case reserve: %+v", r.ChipSeed, r)
+		}
+		if r.Hayat <= 0 || r.VAA <= 0 {
+			t.Fatalf("chip %d shows no degradation: %+v", r.ChipSeed, r)
+		}
+	}
+	if !strings.Contains(table, "recovered") {
+		t.Fatal("table missing summary line")
+	}
+}
+
+func TestBinShift(t *testing.T) {
+	p, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kits, err := p.Kits(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.BinShift(kits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"VAA:", "Hayat:", "downgraded"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package floorplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DCM is a Dark Core Map: the per-core power-state vector. DCM[i] is true
+// when core i is powered on (ps_i = 1 in the paper) and false when the core
+// is dark (power-gated, ps_i = 0).
+type DCM []bool
+
+// NewDCM returns an all-dark map for n cores.
+func NewDCM(n int) DCM { return make(DCM, n) }
+
+// CountOn returns N_on, the number of powered-on cores.
+func (d DCM) CountOn() int {
+	n := 0
+	for _, on := range d {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// CountDark returns N_off = N − N_on.
+func (d DCM) CountDark() int { return len(d) - d.CountOn() }
+
+// DarkFraction returns the fraction of dark cores in [0, 1].
+func (d DCM) DarkFraction() float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	return float64(d.CountDark()) / float64(len(d))
+}
+
+// Clone returns a copy of the map.
+func (d DCM) Clone() DCM {
+	c := make(DCM, len(d))
+	copy(c, d)
+	return c
+}
+
+// OnCores appends the indices of powered-on cores to dst and returns it.
+func (d DCM) OnCores(dst []int) []int {
+	for i, on := range d {
+		if on {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// DarkCores appends the indices of dark cores to dst and returns it.
+func (d DCM) DarkCores(dst []int) []int {
+	for i, on := range d {
+		if !on {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// String renders the map as rows of '#' (on) and '.' (dark); it assumes a
+// square grid when the length is a perfect square and a single row
+// otherwise. For layout-exact rendering use Render.
+func (d DCM) String() string {
+	side := 1
+	for side*side < len(d) {
+		side++
+	}
+	if side*side != len(d) {
+		side = len(d)
+	}
+	return d.Render(len(d)/side, side)
+}
+
+// Render renders the map on a rows×cols grid.
+func (d DCM) Render(rows, cols int) string {
+	if rows*cols != len(d) {
+		panic(fmt.Sprintf("floorplan: DCM of %d cores cannot render as %d×%d", len(d), rows, cols))
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if d[r*cols+c] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxOnCores returns the largest N_on permitted by a minimum dark-silicon
+// fraction: N_on ≤ ⌊(1 − minDarkFraction)·N⌋.
+func MaxOnCores(n int, minDarkFraction float64) int {
+	if minDarkFraction < 0 || minDarkFraction > 1 {
+		panic(fmt.Sprintf("floorplan: dark fraction %v outside [0,1]", minDarkFraction))
+	}
+	return int(float64(n) * (1 - minDarkFraction))
+}
+
+// ContiguousDCM builds the dense contiguous map of Fig. 2(a): the first
+// nOn cores in row-major order are powered on. This is the thermally
+// worst-case clustering the paper's analysis starts from.
+func ContiguousDCM(f *Floorplan, nOn int) DCM {
+	d := NewDCM(f.N())
+	if nOn > f.N() {
+		nOn = f.N()
+	}
+	for i := 0; i < nOn; i++ {
+		d[i] = true
+	}
+	return d
+}
+
+// CheckerboardDCM builds a map that alternates on/dark cores to maximise
+// nearest-neighbour spacing, powering on at most nOn cores. With
+// nOn == N/2 on an even grid it is an exact checkerboard.
+func CheckerboardDCM(f *Floorplan, nOn int) DCM {
+	d := NewDCM(f.N())
+	count := 0
+	// First pass: cells where (row+col) is even, scanning row-major.
+	for parity := 0; parity < 2 && count < nOn; parity++ {
+		for r := 0; r < f.Rows && count < nOn; r++ {
+			for c := 0; c < f.Cols && count < nOn; c++ {
+				if (r+c)%2 == parity && !d[f.Index(r, c)] {
+					d[f.Index(r, c)] = true
+					count++
+				}
+			}
+		}
+	}
+	return d
+}
+
+// SpreadDCM powers on nOn cores chosen greedily to maximise the minimum
+// pairwise Manhattan distance to already-chosen cores, preferring cores
+// ranked earlier in prefOrder (e.g. by health or initial frequency). If
+// prefOrder is nil the natural order is used. This is the
+// variation/temperature-optimising DCM shape of Fig. 2(h,p).
+func SpreadDCM(f *Floorplan, nOn int, prefOrder []int) DCM {
+	d := NewDCM(f.N())
+	if nOn <= 0 {
+		return d
+	}
+	order := prefOrder
+	if order == nil {
+		order = make([]int, f.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	// Seed with the most-preferred core.
+	chosen := []int{order[0]}
+	d[order[0]] = true
+	for len(chosen) < nOn && len(chosen) < f.N() {
+		best, bestScore := -1, -1.0
+		for rank, cand := range order {
+			if d[cand] {
+				continue
+			}
+			minDist := 1 << 30
+			for _, c := range chosen {
+				if dd := f.ManhattanDistance(cand, c); dd < minDist {
+					minDist = dd
+				}
+			}
+			// Spacing dominates; preference rank breaks ties.
+			score := float64(minDist) - 1e-6*float64(rank)
+			if score > bestScore {
+				bestScore, best = score, cand
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d[best] = true
+		chosen = append(chosen, best)
+	}
+	return d
+}

@@ -1,0 +1,139 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file reads and writes HotSpot-compatible floorplan (.flp) files,
+// the format the original toolchain consumes:
+//
+//	# comment
+//	<unit-name>	<width-m>	<height-m>	<left-x-m>	<bottom-y-m>
+//
+// Export always succeeds; import additionally checks that the units tile
+// a regular grid of identical cores (this library's thermal and variation
+// models assume a homogeneous manycore, as the paper does).
+
+// WriteFLP writes the floorplan's cores as a HotSpot .flp document. Core
+// (r, c) is named "core_<r>_<c>"; the origin is the chip's bottom-left.
+func (f *Floorplan) WriteFLP(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %dx%d homogeneous manycore, core %.4gx%.4g m\n",
+		f.Rows, f.Cols, f.CoreWidth, f.CoreHeight)
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			// HotSpot's y axis points up; our row 0 is the top row.
+			left := float64(c) * f.CoreWidth
+			bottom := float64(f.Rows-1-r) * f.CoreHeight
+			fmt.Fprintf(bw, "core_%d_%d\t%.9g\t%.9g\t%.9g\t%.9g\n",
+				r, c, f.CoreWidth, f.CoreHeight, left, bottom)
+		}
+	}
+	return bw.Flush()
+}
+
+// flpUnit is one parsed .flp row.
+type flpUnit struct {
+	name                        string
+	width, height, left, bottom float64
+}
+
+// ReadFLP parses a HotSpot .flp document and reconstructs the regular
+// core grid. It fails when units differ in size, overlap, or do not tile
+// a complete rows×cols rectangle.
+func ReadFLP(r io.Reader) (*Floorplan, error) {
+	var units []flpUnit
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("floorplan: .flp line %d has %d fields, want ≥5", lineNo, len(fields))
+		}
+		var u flpUnit
+		u.name = fields[0]
+		vals := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("floorplan: .flp line %d field %d: %w", lineNo, i+2, err)
+			}
+			vals[i] = v
+		}
+		u.width, u.height, u.left, u.bottom = vals[0], vals[1], vals[2], vals[3]
+		if u.width <= 0 || u.height <= 0 || u.left < 0 || u.bottom < 0 {
+			return nil, fmt.Errorf("floorplan: .flp line %d has non-physical geometry", lineNo)
+		}
+		units = append(units, u)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("floorplan: .flp contains no units")
+	}
+
+	// Homogeneity.
+	w0, h0 := units[0].width, units[0].height
+	for _, u := range units {
+		if !approxEq(u.width, w0) || !approxEq(u.height, h0) {
+			return nil, fmt.Errorf("floorplan: unit %q size %gx%g differs from %gx%g (heterogeneous floorplans unsupported)",
+				u.name, u.width, u.height, w0, h0)
+		}
+	}
+
+	// Grid positions: every left must be k·w0 and every bottom k·h0.
+	cols := make(map[int]bool)
+	rowsSet := make(map[int]bool)
+	occupied := make(map[[2]int]string)
+	for _, u := range units {
+		ci := int(math.Round(u.left / w0))
+		ri := int(math.Round(u.bottom / h0))
+		if !approxEq(float64(ci)*w0, u.left) || !approxEq(float64(ri)*h0, u.bottom) {
+			return nil, fmt.Errorf("floorplan: unit %q at (%g, %g) off the %gx%g grid", u.name, u.left, u.bottom, w0, h0)
+		}
+		key := [2]int{ri, ci}
+		if prev, dup := occupied[key]; dup {
+			return nil, fmt.Errorf("floorplan: units %q and %q overlap", prev, u.name)
+		}
+		occupied[key] = u.name
+		cols[ci] = true
+		rowsSet[ri] = true
+	}
+	nRows, nCols := len(rowsSet), len(cols)
+	if nRows*nCols != len(units) {
+		return nil, fmt.Errorf("floorplan: %d units do not tile a complete %dx%d grid", len(units), nRows, nCols)
+	}
+	// Indices must be contiguous from 0.
+	for _, set := range []map[int]bool{rowsSet, cols} {
+		idx := make([]int, 0, len(set))
+		for k := range set {
+			idx = append(idx, k)
+		}
+		sort.Ints(idx)
+		for i, v := range idx {
+			if v != i {
+				return nil, fmt.Errorf("floorplan: grid indices not contiguous (gap before %d)", v)
+			}
+		}
+	}
+	fp := New(nRows, nCols)
+	fp.CoreWidth = w0
+	fp.CoreHeight = h0
+	return fp, nil
+}
+
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

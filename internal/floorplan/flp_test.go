@@ -1,0 +1,106 @@
+package floorplan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFLPRoundTrip(t *testing.T) {
+	orig := Default()
+	var buf bytes.Buffer
+	if err := orig.WriteFLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != orig.Rows || got.Cols != orig.Cols {
+		t.Fatalf("grid %dx%d, want %dx%d", got.Rows, got.Cols, orig.Rows, orig.Cols)
+	}
+	if got.CoreWidth != orig.CoreWidth || got.CoreHeight != orig.CoreHeight {
+		t.Fatalf("core dims %gx%g, want %gx%g", got.CoreWidth, got.CoreHeight, orig.CoreWidth, orig.CoreHeight)
+	}
+}
+
+func TestFLPRoundTripNonSquare(t *testing.T) {
+	orig := New(3, 5)
+	orig.CoreWidth = 2e-3
+	orig.CoreHeight = 1.5e-3
+	var buf bytes.Buffer
+	if err := orig.WriteFLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 3 || got.Cols != 5 {
+		t.Fatalf("grid %dx%d", got.Rows, got.Cols)
+	}
+}
+
+func TestReadFLPHandWritten(t *testing.T) {
+	src := `
+# a 1x2 chip
+left	0.001	0.002	0	0
+right	0.001	0.002	0.001	0
+`
+	fp, err := ReadFLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Rows != 1 || fp.Cols != 2 {
+		t.Fatalf("grid %dx%d, want 1x2", fp.Rows, fp.Cols)
+	}
+	if fp.CoreWidth != 0.001 || fp.CoreHeight != 0.002 {
+		t.Fatalf("core dims %gx%g", fp.CoreWidth, fp.CoreHeight)
+	}
+}
+
+func TestReadFLPRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "# only comments\n",
+		"short line":    "u 0.001 0.002 0\n",
+		"bad number":    "u 0.001 x 0 0\n",
+		"negative":      "u -0.001 0.002 0 0\n",
+		"heterogeneous": "a 0.001 0.002 0 0\nb 0.002 0.002 0.001 0\n",
+		"off grid":      "a 0.001 0.002 0 0\nb 0.001 0.002 0.0015 0\n",
+		"overlap":       "a 0.001 0.002 0 0\nb 0.001 0.002 0 0\n",
+		"incomplete": `a 0.001 0.002 0 0
+b 0.001 0.002 0.001 0
+c 0.001 0.002 0 0.002
+`,
+		"gap": "a 0.001 0.002 0.001 0\nb 0.001 0.002 0.002 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadFLP(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteFLPNamesAndOrigin(t *testing.T) {
+	fp := New(2, 2)
+	var buf bytes.Buffer
+	if err := fp.WriteFLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"core_0_0", "core_1_1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing unit %q in:\n%s", want, out)
+		}
+	}
+	// Row 1 (bottom row in our indexing) must sit at bottom 0 in HotSpot
+	// coordinates.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "core_1_0") && !strings.HasSuffix(strings.TrimSpace(line), "\t0") {
+			fields := strings.Fields(line)
+			if fields[4] != "0" {
+				t.Fatalf("core_1_0 bottom = %s, want 0", fields[4])
+			}
+		}
+	}
+}

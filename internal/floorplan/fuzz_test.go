@@ -1,0 +1,32 @@
+package floorplan
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFLP: arbitrary input must be cleanly accepted or rejected, and
+// anything accepted must round-trip through WriteFLP.
+func FuzzReadFLP(f *testing.F) {
+	f.Add("a 0.001 0.002 0 0\nb 0.001 0.002 0.001 0\n")
+	f.Add("# comment only\n")
+	f.Add("x y z w v\n")
+	f.Add("u 1e-3 1e-3 0 0\nu2 1e-3 1e-3 1e-3 0\nu3 1e-3 1e-3 0 1e-3\nu4 1e-3 1e-3 1e-3 1e-3\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		fp, err := ReadFLP(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := fp.WriteFLP(&buf); err != nil {
+			t.Fatalf("accepted floorplan fails to serialise: %v", err)
+		}
+		fp2, err := ReadFLP(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if fp2.Rows != fp.Rows || fp2.Cols != fp.Cols {
+			t.Fatalf("round-trip changed the grid: %dx%d vs %dx%d", fp2.Rows, fp2.Cols, fp.Rows, fp.Cols)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package gates provides the logic-element (standard-cell) library and
+// synthetic critical paths that feed the offline aging-table generation of
+// Fig. 5 step (1).
+//
+// The paper builds an aging library for logic elements (NOR, NOT, memory
+// elements, …) from an ngspice-based estimator plus critical paths exported
+// from Synopsys Design Compiler, with per-element signal probabilities from
+// ModelSim gate-level simulation. None of those inputs are available, so
+// this package substitutes:
+//
+//   - a small standard-cell library with unaged delays representative of a
+//     high-performance 11 nm process (FO4 ≈ 4–5 ps), and
+//   - a seeded synthetic critical-path generator producing paths of
+//     realistic depth (a few tens of stages for a ~3 GHz pipeline) and
+//     gate mix, with per-element PMOS duty factors standing in for signal
+//     probabilities.
+//
+// Only the aggregate path-delay degradation ΔD(cp) = Σ (D(le) + ΔD(le,…))
+// of Eq. 8 enters the 3D aging tables, so the functional dependence on
+// temperature, duty cycle and age is preserved by this substitution.
+package gates
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind identifies a logic-element type in the cell library.
+type Kind int
+
+// The library cells. DFF terminates every path (launch/capture flop).
+const (
+	Inverter Kind = iota
+	NAND2
+	NOR2
+	AOI21
+	OAI21
+	XOR2
+	Buffer
+	DFF
+	numKinds
+)
+
+// String returns the conventional cell name.
+func (k Kind) String() string {
+	switch k {
+	case Inverter:
+		return "INV"
+	case NAND2:
+		return "NAND2"
+	case NOR2:
+		return "NOR2"
+	case AOI21:
+		return "AOI21"
+	case OAI21:
+		return "OAI21"
+	case XOR2:
+		return "XOR2"
+	case Buffer:
+		return "BUF"
+	case DFF:
+		return "DFF"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Cell describes a library cell.
+type Cell struct {
+	Kind Kind
+	// Delay is the unaged propagation delay in seconds at nominal load,
+	// D(le) in Eq. 8.
+	Delay float64
+	// VthSensitivity is the relative delay increase per volt of PMOS ΔVth:
+	// ΔD(le) = Delay · VthSensitivity · ΔVth. It derives from the
+	// alpha-power law dD/D ≈ α·ΔVth/(Vdd − Vth) and is larger for cells
+	// whose pull-up network dominates the delay (NOR-like stacks).
+	VthSensitivity float64
+	// PMOSDutyWeight scales how strongly the path-level duty cycle
+	// stresses this cell's PMOS devices (NOR stacks see near-full stress;
+	// NAND pull-ups see less).
+	PMOSDutyWeight float64
+}
+
+// Library returns the standard-cell library. Delays are representative of
+// a fast 11 nm process; VthSensitivity ≈ α/(Vdd−Vth) with α ≈ 1.3,
+// Vdd = 1.13 V, Vth = 0.30 V, modulated per topology.
+func Library() []Cell {
+	const baseSens = 1.3 / (1.13 - 0.30) // ≈ 1.57 per volt
+	return []Cell{
+		{Kind: Inverter, Delay: 4.0e-12, VthSensitivity: baseSens * 1.00, PMOSDutyWeight: 1.00},
+		{Kind: NAND2, Delay: 5.5e-12, VthSensitivity: baseSens * 0.85, PMOSDutyWeight: 0.75},
+		{Kind: NOR2, Delay: 6.5e-12, VthSensitivity: baseSens * 1.25, PMOSDutyWeight: 1.00},
+		{Kind: AOI21, Delay: 7.5e-12, VthSensitivity: baseSens * 1.15, PMOSDutyWeight: 0.90},
+		{Kind: OAI21, Delay: 7.0e-12, VthSensitivity: baseSens * 1.05, PMOSDutyWeight: 0.85},
+		{Kind: XOR2, Delay: 9.0e-12, VthSensitivity: baseSens * 1.10, PMOSDutyWeight: 0.80},
+		{Kind: Buffer, Delay: 5.0e-12, VthSensitivity: baseSens * 0.95, PMOSDutyWeight: 1.00},
+		{Kind: DFF, Delay: 12.0e-12, VthSensitivity: baseSens * 0.90, PMOSDutyWeight: 0.60},
+	}
+}
+
+// cellByKind indexes the library by Kind.
+func cellByKind() [numKinds]Cell {
+	var byKind [numKinds]Cell
+	for _, c := range Library() {
+		byKind[c.Kind] = c
+	}
+	return byKind
+}
+
+// Element is one logic element instance on a critical path.
+type Element struct {
+	Cell Cell
+	// DutyFactor is the per-element signal-probability weight in [0, 1]:
+	// the fraction of the core-level duty cycle during which this
+	// element's PMOS devices are under NBTI stress (Vgs = −Vdd).
+	DutyFactor float64
+}
+
+// Path is a critical path: an ordered chain of logic elements between two
+// flops, P(C_i)'s cp_(i,j) in the paper.
+type Path struct {
+	Elements []Element
+}
+
+// UnagedDelay returns the year-0 path delay Σ D(le) in seconds.
+func (p *Path) UnagedDelay() float64 {
+	d := 0.0
+	for _, e := range p.Elements {
+		d += e.Cell.Delay
+	}
+	return d
+}
+
+// PathSet is the top-x% critical-path collection P(C_i) of one core.
+type PathSet struct {
+	Paths []Path
+}
+
+// MaxUnagedDelay returns the slowest path's unaged delay — the quantity
+// that sets the core's maximum safe frequency.
+func (s *PathSet) MaxUnagedDelay() float64 {
+	max := 0.0
+	for i := range s.Paths {
+		if d := s.Paths[i].UnagedDelay(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// GenerateConfig controls synthetic path generation.
+type GenerateConfig struct {
+	// NumPaths is the number of near-critical paths to generate (the
+	// top-x% parameter of the paper; x trades coverage for analysis time).
+	NumPaths int
+	// MeanDepth is the average combinational depth (number of gates
+	// between flops). ~45 stages of ≈6 ps gates ≈ 280 ps ≈ 3.5 GHz.
+	MeanDepth int
+	// DepthJitter is the ± spread applied to MeanDepth per path.
+	DepthJitter int
+}
+
+// DefaultGenerateConfig matches the paper's 3–4 GHz pipeline target.
+func DefaultGenerateConfig() GenerateConfig {
+	return GenerateConfig{NumPaths: 16, MeanDepth: 45, DepthJitter: 6}
+}
+
+// Generate produces a deterministic synthetic path set for one core. The
+// same (cfg, seed) always yields the same paths. Paths start and end in a
+// DFF; interior gates are drawn from the combinational cells with a mix
+// biased toward inverters and NAND/NOR, and per-element duty factors are
+// drawn uniformly from [0.3, 1.0] (signals rarely sit at 0 % stress on a
+// critical path).
+func Generate(cfg GenerateConfig, seed int64) *PathSet {
+	if cfg.NumPaths <= 0 || cfg.MeanDepth <= 1 {
+		panic(fmt.Sprintf("gates: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byKind := cellByKind()
+	// Gate-mix weights for interior cells.
+	mix := []struct {
+		kind   Kind
+		weight float64
+	}{
+		{Inverter, 0.30}, {NAND2, 0.22}, {NOR2, 0.16},
+		{AOI21, 0.10}, {OAI21, 0.08}, {XOR2, 0.06}, {Buffer, 0.08},
+	}
+	totalW := 0.0
+	for _, m := range mix {
+		totalW += m.weight
+	}
+	pick := func() Cell {
+		r := rng.Float64() * totalW
+		for _, m := range mix {
+			if r < m.weight {
+				return byKind[m.kind]
+			}
+			r -= m.weight
+		}
+		return byKind[Inverter]
+	}
+	set := &PathSet{Paths: make([]Path, cfg.NumPaths)}
+	for p := 0; p < cfg.NumPaths; p++ {
+		depth := cfg.MeanDepth
+		if cfg.DepthJitter > 0 {
+			depth += rng.Intn(2*cfg.DepthJitter+1) - cfg.DepthJitter
+		}
+		if depth < 2 {
+			depth = 2
+		}
+		els := make([]Element, 0, depth+2)
+		els = append(els, Element{Cell: byKind[DFF], DutyFactor: 0.3 + 0.7*rng.Float64()})
+		for g := 0; g < depth; g++ {
+			els = append(els, Element{Cell: pick(), DutyFactor: 0.3 + 0.7*rng.Float64()})
+		}
+		els = append(els, Element{Cell: byKind[DFF], DutyFactor: 0.3 + 0.7*rng.Float64()})
+		set.Paths[p] = Path{Elements: els}
+	}
+	return set
+}

@@ -1,0 +1,154 @@
+package gates
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLibraryComplete(t *testing.T) {
+	lib := Library()
+	if len(lib) != int(numKinds) {
+		t.Fatalf("library has %d cells, want %d", len(lib), numKinds)
+	}
+	seen := make(map[Kind]bool)
+	for _, c := range lib {
+		if seen[c.Kind] {
+			t.Fatalf("duplicate cell %v", c.Kind)
+		}
+		seen[c.Kind] = true
+		if c.Delay <= 0 {
+			t.Errorf("%v has non-positive delay", c.Kind)
+		}
+		if c.VthSensitivity <= 0 {
+			t.Errorf("%v has non-positive Vth sensitivity", c.Kind)
+		}
+		if c.PMOSDutyWeight <= 0 || c.PMOSDutyWeight > 1 {
+			t.Errorf("%v duty weight %v outside (0,1]", c.Kind, c.PMOSDutyWeight)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Inverter: "INV", NAND2: "NAND2", NOR2: "NOR2", AOI21: "AOI21",
+		OAI21: "OAI21", XOR2: "XOR2", Buffer: "BUF", DFF: "DFF",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind formatting: %q", Kind(99).String())
+	}
+}
+
+func TestNORSlowerPullUpThanNAND(t *testing.T) {
+	// A physical sanity check: NOR pull-up stacks are more Vth-sensitive
+	// than NAND pull-ups (series PMOS), which the aging model relies on.
+	byKind := cellByKind()
+	if byKind[NOR2].VthSensitivity <= byKind[NAND2].VthSensitivity {
+		t.Fatal("NOR2 should be more Vth-sensitive than NAND2")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenerateConfig()
+	a := Generate(cfg, 5)
+	b := Generate(cfg, 5)
+	if len(a.Paths) != len(b.Paths) {
+		t.Fatal("path counts differ")
+	}
+	for i := range a.Paths {
+		if len(a.Paths[i].Elements) != len(b.Paths[i].Elements) {
+			t.Fatalf("path %d lengths differ", i)
+		}
+		for j := range a.Paths[i].Elements {
+			ea, eb := a.Paths[i].Elements[j], b.Paths[i].Elements[j]
+			if ea.Cell.Kind != eb.Cell.Kind || ea.DutyFactor != eb.DutyFactor {
+				t.Fatalf("path %d element %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultGenerateConfig()
+	a := Generate(cfg, 1)
+	b := Generate(cfg, 2)
+	if math.Abs(a.MaxUnagedDelay()-b.MaxUnagedDelay()) < 1e-18 &&
+		a.Paths[0].Elements[1].Cell.Kind == b.Paths[0].Elements[1].Cell.Kind &&
+		a.Paths[0].Elements[1].DutyFactor == b.Paths[0].Elements[1].DutyFactor {
+		t.Fatal("different seeds produced suspiciously identical path sets")
+	}
+}
+
+func TestGeneratedPathsStartEndInDFF(t *testing.T) {
+	set := Generate(DefaultGenerateConfig(), 9)
+	for i, p := range set.Paths {
+		if len(p.Elements) < 4 {
+			t.Fatalf("path %d too short: %d", i, len(p.Elements))
+		}
+		if p.Elements[0].Cell.Kind != DFF || p.Elements[len(p.Elements)-1].Cell.Kind != DFF {
+			t.Fatalf("path %d not flop-bounded", i)
+		}
+		for j, e := range p.Elements {
+			if e.DutyFactor < 0.3 || e.DutyFactor > 1.0 {
+				t.Fatalf("path %d element %d duty %v outside [0.3,1]", i, j, e.DutyFactor)
+			}
+		}
+	}
+}
+
+func TestUnagedDelayInPipelineBand(t *testing.T) {
+	// The slowest generated path should correspond to a ~2.5–4.5 GHz
+	// pipeline (unaged delay 220–400 ps) with the default config.
+	set := Generate(DefaultGenerateConfig(), 123)
+	d := set.MaxUnagedDelay()
+	if d < 220e-12 || d > 400e-12 {
+		t.Fatalf("max unaged delay %v s outside [220ps, 400ps]", d)
+	}
+}
+
+func TestMaxUnagedDelayIsMax(t *testing.T) {
+	set := Generate(DefaultGenerateConfig(), 77)
+	max := set.MaxUnagedDelay()
+	for i := range set.Paths {
+		if set.Paths[i].UnagedDelay() > max {
+			t.Fatalf("path %d exceeds reported max", i)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(GenerateConfig{NumPaths: 0, MeanDepth: 10}, 1)
+}
+
+// Property: path delay is the sum of element delays (additivity), for any
+// seed and config jitter.
+func TestPathDelayAdditivityProperty(t *testing.T) {
+	f := func(seed int64, jitterRaw uint8) bool {
+		cfg := DefaultGenerateConfig()
+		cfg.DepthJitter = int(jitterRaw % 10)
+		set := Generate(cfg, seed)
+		for _, p := range set.Paths {
+			sum := 0.0
+			for _, e := range p.Elements {
+				sum += e.Cell.Delay
+			}
+			if math.Abs(sum-p.UnagedDelay()) > 1e-20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package netlist models the processor-synthesis input of the offline
+// aging flow (Fig. 3/Fig. 5: "Processor Synthesis" → critical paths →
+// aging library): a synthetic out-of-order core described as
+// micro-architectural modules (fetch, decode, rename, issue, ALU, FPU,
+// LSU, register file, L1 caches), each contributing near-critical paths
+// with module-specific logic depth and PMOS stress exposure.
+//
+// The paper obtains this from Synopsys DC synthesis of a LEON3/Alpha-class
+// core plus ModelSim signal probabilities; this package substitutes a
+// parameterised module list whose aggregate path statistics match a
+// 3–4 GHz pipeline. The produced gates.PathSet plugs directly into
+// aging.NewCoreAging, so the whole offline flow (tables, health
+// estimation) runs on netlist-derived paths; CriticalModule then answers
+// the micro-architectural question the flat path set cannot — *which unit*
+// limits the aged frequency.
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/kit-ces/hayat/internal/aging"
+	"github.com/kit-ces/hayat/internal/gates"
+)
+
+// Module is one micro-architectural unit.
+type Module struct {
+	// Name identifies the unit ("alu", "fpu", …).
+	Name string
+	// AreaFraction of the core occupied by the unit; a module list's
+	// fractions must sum to ≈1.
+	AreaFraction float64
+	// DepthScale multiplies the base combinational depth: deep units
+	// (FPU) run slower paths than shallow ones (register file).
+	DepthScale float64
+	// DutyWeight scales how strongly core-level duty stresses the unit's
+	// PMOS devices (datapath units toggle with activity; caches less so).
+	DutyWeight float64
+	// PathCount is the number of near-critical paths contributed.
+	PathCount int
+}
+
+// Alpha21264Like returns the module list for the paper's Alpha-21264-style
+// core (area split loosely following McPAT's breakdown).
+func Alpha21264Like() []Module {
+	return []Module{
+		{Name: "fetch", AreaFraction: 0.10, DepthScale: 0.90, DutyWeight: 0.85, PathCount: 3},
+		{Name: "decode", AreaFraction: 0.08, DepthScale: 0.95, DutyWeight: 0.80, PathCount: 2},
+		{Name: "rename", AreaFraction: 0.07, DepthScale: 1.00, DutyWeight: 0.80, PathCount: 2},
+		{Name: "issue", AreaFraction: 0.12, DepthScale: 1.05, DutyWeight: 0.90, PathCount: 3},
+		{Name: "regfile", AreaFraction: 0.08, DepthScale: 0.80, DutyWeight: 0.70, PathCount: 2},
+		{Name: "alu", AreaFraction: 0.12, DepthScale: 1.00, DutyWeight: 1.00, PathCount: 3},
+		{Name: "fpu", AreaFraction: 0.15, DepthScale: 1.12, DutyWeight: 0.95, PathCount: 3},
+		{Name: "lsu", AreaFraction: 0.10, DepthScale: 1.02, DutyWeight: 0.85, PathCount: 2},
+		{Name: "l1i", AreaFraction: 0.09, DepthScale: 0.85, DutyWeight: 0.55, PathCount: 2},
+		{Name: "l1d", AreaFraction: 0.09, DepthScale: 0.88, DutyWeight: 0.60, PathCount: 2},
+	}
+}
+
+// Validate reports structural problems with a module list.
+func Validate(modules []Module) error {
+	if len(modules) == 0 {
+		return fmt.Errorf("netlist: empty module list")
+	}
+	area := 0.0
+	seen := make(map[string]bool)
+	for _, m := range modules {
+		if m.Name == "" {
+			return fmt.Errorf("netlist: module without name")
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("netlist: duplicate module %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.AreaFraction <= 0 || m.DepthScale <= 0 || m.PathCount < 1 {
+			return fmt.Errorf("netlist: module %q has invalid geometry %+v", m.Name, m)
+		}
+		if m.DutyWeight <= 0 || m.DutyWeight > 1 {
+			return fmt.Errorf("netlist: module %q duty weight %v outside (0,1]", m.Name, m.DutyWeight)
+		}
+		area += m.AreaFraction
+	}
+	if area < 0.95 || area > 1.05 {
+		return fmt.Errorf("netlist: module areas sum to %v, want ≈1", area)
+	}
+	return nil
+}
+
+// Processor is the synthesised core: the combined critical-path set plus
+// the module ownership of every path.
+type Processor struct {
+	Modules []Module
+	Paths   *gates.PathSet
+	// ModuleOfPath[i] indexes Modules for Paths.Paths[i].
+	ModuleOfPath []int
+}
+
+// Synthesize runs the substitute synthesis flow: per module, generate
+// PathCount flop-bounded paths with the module's depth scaling and duty
+// weighting, deterministic in seed.
+func Synthesize(modules []Module, base gates.GenerateConfig, seed int64) (*Processor, error) {
+	if err := Validate(modules); err != nil {
+		return nil, err
+	}
+	if base.NumPaths <= 0 || base.MeanDepth <= 1 {
+		return nil, fmt.Errorf("netlist: invalid base generate config %+v", base)
+	}
+	p := &Processor{Modules: modules, Paths: &gates.PathSet{}}
+	rng := rand.New(rand.NewSource(seed))
+	for mi, m := range modules {
+		cfg := base
+		cfg.NumPaths = m.PathCount
+		cfg.MeanDepth = int(float64(base.MeanDepth)*m.DepthScale + 0.5)
+		if cfg.MeanDepth < 2 {
+			cfg.MeanDepth = 2
+		}
+		sub := gates.Generate(cfg, rng.Int63())
+		for pi := range sub.Paths {
+			// Scale the per-element duty factors by the module's PMOS
+			// exposure.
+			for ei := range sub.Paths[pi].Elements {
+				sub.Paths[pi].Elements[ei].DutyFactor *= m.DutyWeight
+			}
+			p.Paths.Paths = append(p.Paths.Paths, sub.Paths[pi])
+			p.ModuleOfPath = append(p.ModuleOfPath, mi)
+		}
+	}
+	return p, nil
+}
+
+// CoreAging builds the aging estimator over the netlist-derived paths.
+func (p *Processor) CoreAging(params aging.Params) *aging.CoreAging {
+	return aging.NewCoreAging(params, p.Paths)
+}
+
+// CriticalModule returns the module owning the slowest path after aging
+// `years` years at (T, duty), together with that path's aged delay — the
+// unit that limits the core's aged f_max.
+func (p *Processor) CriticalModule(params aging.Params, T, duty, years float64) (Module, float64) {
+	worst := -1
+	worstDelay := 0.0
+	for i := range p.Paths.Paths {
+		one := &gates.PathSet{Paths: p.Paths.Paths[i : i+1]}
+		d := aging.NewCoreAging(params, one).AgedDelay(T, duty, years)
+		if d > worstDelay {
+			worstDelay = d
+			worst = i
+		}
+	}
+	return p.Modules[p.ModuleOfPath[worst]], worstDelay
+}
+
+// ModuleDelays returns, per module, the slowest aged path delay (seconds)
+// at (T, duty, years) — the per-unit timing report of the offline flow.
+func (p *Processor) ModuleDelays(params aging.Params, T, duty, years float64) map[string]float64 {
+	out := make(map[string]float64, len(p.Modules))
+	for i := range p.Paths.Paths {
+		one := &gates.PathSet{Paths: p.Paths.Paths[i : i+1]}
+		d := aging.NewCoreAging(params, one).AgedDelay(T, duty, years)
+		name := p.Modules[p.ModuleOfPath[i]].Name
+		if d > out[name] {
+			out[name] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kit-ces/hayat/internal/aging"
+	"github.com/kit-ces/hayat/internal/gates"
+)
+
+func testProcessor(t *testing.T, seed int64) *Processor {
+	t.Helper()
+	p, err := Synthesize(Alpha21264Like(), gates.DefaultGenerateConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAlpha21264LikeValid(t *testing.T) {
+	modules := Alpha21264Like()
+	if err := Validate(modules); err != nil {
+		t.Fatal(err)
+	}
+	area := 0.0
+	for _, m := range modules {
+		area += m.AreaFraction
+	}
+	if math.Abs(area-1) > 0.05 {
+		t.Fatalf("module areas sum to %v", area)
+	}
+}
+
+func TestValidateRejectsBadLists(t *testing.T) {
+	good := Alpha21264Like()
+	cases := []func([]Module) []Module{
+		func(m []Module) []Module { return nil },
+		func(m []Module) []Module { m[0].Name = ""; return m },
+		func(m []Module) []Module { m[1].Name = m[0].Name; return m },
+		func(m []Module) []Module { m[0].AreaFraction = 0; return m },
+		func(m []Module) []Module { m[0].DutyWeight = 1.5; return m },
+		func(m []Module) []Module { m[0].PathCount = 0; return m },
+		func(m []Module) []Module { m[0].AreaFraction = 5; return m },
+	}
+	for i, mut := range cases {
+		ms := append([]Module(nil), good...)
+		if err := Validate(mut(ms)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSynthesizeDeterministicAndComplete(t *testing.T) {
+	a := testProcessor(t, 3)
+	b := testProcessor(t, 3)
+	if len(a.Paths.Paths) != len(b.Paths.Paths) {
+		t.Fatal("non-deterministic synthesis")
+	}
+	wantPaths := 0
+	for _, m := range Alpha21264Like() {
+		wantPaths += m.PathCount
+	}
+	if len(a.Paths.Paths) != wantPaths {
+		t.Fatalf("synthesised %d paths, want %d", len(a.Paths.Paths), wantPaths)
+	}
+	if len(a.ModuleOfPath) != wantPaths {
+		t.Fatal("module ownership incomplete")
+	}
+	for i := range a.Paths.Paths {
+		if a.Paths.Paths[i].UnagedDelay() != b.Paths.Paths[i].UnagedDelay() {
+			t.Fatal("path delays differ across same-seed synthesis")
+		}
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(nil, gates.DefaultGenerateConfig(), 1); err == nil {
+		t.Error("empty module list accepted")
+	}
+	if _, err := Synthesize(Alpha21264Like(), gates.GenerateConfig{}, 1); err == nil {
+		t.Error("zero generate config accepted")
+	}
+}
+
+func TestDepthScaleShapesDelays(t *testing.T) {
+	p := testProcessor(t, 5)
+	delays := p.ModuleDelays(aging.DefaultParams(), 330, 0.5, 0)
+	// The deep FPU must be slower than the shallow register file.
+	if delays["fpu"] <= delays["regfile"] {
+		t.Fatalf("fpu %.1fps not slower than regfile %.1fps", delays["fpu"]*1e12, delays["regfile"]*1e12)
+	}
+	if len(delays) != len(Alpha21264Like()) {
+		t.Fatalf("delay report covers %d modules", len(delays))
+	}
+}
+
+func TestCoreAgingIntegration(t *testing.T) {
+	p := testProcessor(t, 7)
+	ca := p.CoreAging(aging.DefaultParams())
+	// The full offline flow runs on netlist paths.
+	tab := aging.DefaultTable(ca)
+	if f := tab.Lookup(350, 0.7, 5); f >= 1 || f <= 0 {
+		t.Fatalf("netlist-derived table lookup = %v", f)
+	}
+	// Frequency plausible for the pipeline (2.5–4.5 GHz unaged).
+	f0 := 1 / ca.UnagedDelay()
+	if f0 < 2.2e9 || f0 > 4.8e9 {
+		t.Fatalf("unaged frequency %v implausible", f0)
+	}
+}
+
+func TestCriticalModuleConsistent(t *testing.T) {
+	p := testProcessor(t, 9)
+	params := aging.DefaultParams()
+	mod, delay := p.CriticalModule(params, 350, 0.8, 10)
+	// The critical delay must equal the core estimator's aged delay.
+	ca := p.CoreAging(params)
+	if math.Abs(delay-ca.AgedDelay(350, 0.8, 10)) > 1e-18 {
+		t.Fatalf("critical delay %v != core aged delay %v", delay, ca.AgedDelay(350, 0.8, 10))
+	}
+	// And must belong to a real module.
+	found := false
+	for _, m := range p.Modules {
+		if m.Name == mod.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("critical module %q unknown", mod.Name)
+	}
+	// Aged critical delay ≥ unaged critical delay.
+	_, unaged := p.CriticalModule(params, 350, 0.8, 0)
+	if delay < unaged {
+		t.Fatal("aging shortened the critical path")
+	}
+}

@@ -1,0 +1,133 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussSeidelMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 25
+	a := randomDiagDominant(rng, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	res := GaussSeidel(a, x, b, 1e-12, 10000)
+	if !res.Converged {
+		t.Fatalf("Gauss–Seidel did not converge: %+v", res)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestGaussSeidelReportsResidual(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{4, 1}, {1, 3}})
+	x := make([]float64, 2)
+	res := GaussSeidel(a, x, []float64{1, 2}, 1e-14, 1000)
+	if !res.Converged {
+		t.Fatal("should converge on a 2×2 SPD system")
+	}
+	if res.Residual > 1e-10 {
+		t.Fatalf("residual too large: %v", res.Residual)
+	}
+}
+
+func TestGaussSeidelIterationLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomDiagDominant(rng, 10)
+	x := make([]float64, 10)
+	b := Fill(make([]float64, 10), 1)
+	res := GaussSeidel(a, x, b, 0 /* unattainable */, 3)
+	if res.Converged {
+		t.Fatal("tol=0 must not report convergence")
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("Iterations = %d, want 3", res.Iterations)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := []float64{1, -2, 3}
+	if got := Dot(v, v); got != 14 {
+		t.Errorf("Dot = %v, want 14", got)
+	}
+	if got := Norm2(v); !almostEqual(got, math.Sqrt(14), 1e-14) {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := NormInf(v); got != 3 {
+		t.Errorf("NormInf = %v, want 3", got)
+	}
+	if got := Mean(v); !almostEqual(got, 2.0/3.0, 1e-14) {
+		t.Errorf("Mean = %v", got)
+	}
+	min, max := MinMax(v)
+	if min != -2 || max != 3 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	dst := AXPY(make([]float64, 3), 2, v, []float64{1, 1, 1})
+	want := []float64{3, -3, 7}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Errorf("AXPY[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMeanEmptyAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) should be 0")
+	}
+	// StdDev of constant vector is 0.
+	if got := StdDev([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("StdDev(const) = %v", got)
+	}
+	// Known value: population stddev of {2, 4} is 1.
+	if got := StdDev([]float64{2, 4}); !almostEqual(got, 1, 1e-14) {
+		t.Errorf("StdDev({2,4}) = %v, want 1", got)
+	}
+}
+
+// Property: Gauss–Seidel and LU agree on random diagonally dominant systems.
+func TestGaussSeidelAgreesWithLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		res := GaussSeidel(a, x, b, 1e-13, 20000)
+		if !res.Converged {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package numeric
+
+import "math"
+
+// LU is an LU factorisation with partial pivoting of a square matrix,
+// P·A = L·U. It is computed once and reused for many right-hand sides —
+// the transient thermal stepper solves the identical system
+// (C/Δt + G)·T_{k+1} = rhs on every time step.
+type LU struct {
+	n    int
+	lu   *Matrix // packed L (unit diagonal, below) and U (on and above)
+	piv  []int   // row permutation
+	sign int     // permutation sign, for Det
+}
+
+// FactorLU computes the pivoted LU factorisation of a. The input is not
+// modified. FactorLU returns ErrSingular if a pivot underflows.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("numeric: FactorLU requires a square matrix")
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		maxv := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxv {
+				maxv, p = v, i
+			}
+		}
+		if maxv < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b, writing the solution into dst (which may alias b).
+// dst and b must have length n. It returns dst.
+func (f *LU) Solve(dst, b []float64) []float64 {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic("numeric: LU.Solve dimension mismatch")
+	}
+	// Apply permutation: y = P·b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * y[j]
+		}
+		y[i] = s / row[i]
+	}
+	copy(dst, y)
+	return dst
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear is a convenience wrapper: it factors a and solves a·x = b.
+// Use FactorLU directly when solving repeatedly against the same matrix.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	return f.Solve(x, b), nil
+}

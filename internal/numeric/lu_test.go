@@ -1,0 +1,135 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDiagDominant(rng *rand.Rand, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		a.Set(i, i, rowSum+1+rng.Float64())
+	}
+	return a
+}
+
+func TestLUSolveHandComputed(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+	a := NewMatrixFrom([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err != ErrSingular {
+		t.Fatalf("FactorLU(singular) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{4, 3}, {6, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Det(), -6, 1e-10) {
+		t.Fatalf("Det = %v, want -6", f.Det())
+	}
+}
+
+func TestLUPivotingNeeded(t *testing.T) {
+	// Zero on the leading diagonal forces a pivot swap.
+	a := NewMatrixFrom([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Fatalf("solution = %v, want [3 2]", x)
+	}
+}
+
+// Property: for random diagonally dominant systems, A·x == b after solving.
+func TestLUSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		ax := a.MulVec(make([]float64, n), x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: factor once, solve many — each solve independent of history.
+func TestLUFactorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 20
+	a := randomDiagDominant(rng, n)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := make([]float64, n)
+	for i := range b1 {
+		b1[i] = rng.NormFloat64()
+	}
+	want := f.Solve(make([]float64, n), b1)
+	// Interleave a different solve, then repeat the first.
+	b2 := make([]float64, n)
+	for i := range b2 {
+		b2[i] = rng.NormFloat64()
+	}
+	f.Solve(make([]float64, n), b2)
+	got := f.Solve(make([]float64, n), b1)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("reused solve differs at %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestSolveInPlaceAliasing(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{2, 0}, {0, 4}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 8}
+	f.Solve(b, b) // dst aliases b
+	if !almostEqual(b[0], 1, 1e-12) || !almostEqual(b[1], 2, 1e-12) {
+		t.Fatalf("aliased solve = %v, want [1 2]", b)
+	}
+}

@@ -1,0 +1,156 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixFromAndAt(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape = %d×%d, want 2×3", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Errorf("Set/At roundtrip failed")
+	}
+	m.Add(0, 1, 1)
+	if m.At(0, 1) != 10 {
+		t.Errorf("Add failed: got %v", m.At(0, 1))
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-sized matrix")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestNewMatrixFromPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged literal")
+		}
+	}()
+	NewMatrixFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, -2, 3, -4}
+	dst := make([]float64, 4)
+	id.MulVec(dst, x)
+	for i := range x {
+		if dst[i] != x[i] {
+			t.Fatalf("I·x[%d] = %v, want %v", i, dst[i], x[i])
+		}
+	}
+}
+
+func TestMulAgainstHandComputed(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape = %d×%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{1, 2.5}, {3, 4}})
+	if d := MaxAbsDiff(a, b); !almostEqual(d, 0.5, 1e-15) {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random small matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		k := 2 + rng.Intn(6)
+		a, b := NewMatrix(n, m), NewMatrix(m, k)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		lhs := Mul(a, b).Transpose()
+		rhs := Mul(b.Transpose(), a.Transpose())
+		return MaxAbsDiff(lhs, rhs) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MulVec matches Mul with a one-column matrix.
+func TestMulVecMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		col := NewMatrix(n, 1)
+		copy(col.Data, x)
+		want := Mul(a, col)
+		got := a.MulVec(make([]float64, n), x)
+		for i := 0; i < n; i++ {
+			if !almostEqual(got[i], want.At(i, 0), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package persist serialises chips and lifetime-simulation results to
+// JSON so experiment campaigns can be archived, diffed and post-processed
+// outside the simulator (cmd/hayatsim -json, cmd/chipgen -json).
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/kit-ces/hayat/internal/sim"
+	"github.com/kit-ces/hayat/internal/variation"
+)
+
+// FormatVersion is embedded in every artefact so future readers can
+// detect incompatible layouts.
+const FormatVersion = 1
+
+// ChipRecord is the serialisable description of one manufactured die.
+type ChipRecord struct {
+	Version    int       `json:"version"`
+	Seed       int64     `json:"seed"`
+	Rows       int       `json:"rows"`
+	Cols       int       `json:"cols"`
+	FMax0      []float64 `json:"fmax0_hz"`
+	LeakFactor []float64 `json:"leak_factor"`
+	MeanTheta  []float64 `json:"mean_theta"`
+	// Spread is (max−min)/max of FMax0, stored for quick inspection.
+	Spread float64 `json:"frequency_spread"`
+}
+
+// NewChipRecord captures a chip.
+func NewChipRecord(c *variation.Chip) ChipRecord {
+	return ChipRecord{
+		Version:    FormatVersion,
+		Seed:       c.Seed,
+		Rows:       c.Floorplan.Rows,
+		Cols:       c.Floorplan.Cols,
+		FMax0:      append([]float64(nil), c.FMax0...),
+		LeakFactor: append([]float64(nil), c.LeakFactor...),
+		MeanTheta:  append([]float64(nil), c.MeanTheta...),
+		Spread:     c.FrequencySpread(),
+	}
+}
+
+// SaveChip writes the chip as indented JSON.
+func SaveChip(w io.Writer, c *variation.Chip) error {
+	return writeJSON(w, NewChipRecord(c))
+}
+
+// LoadChip reads a chip record and validates its structure.
+func LoadChip(r io.Reader) (ChipRecord, error) {
+	var rec ChipRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return ChipRecord{}, fmt.Errorf("persist: decoding chip: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return ChipRecord{}, err
+	}
+	return rec, nil
+}
+
+// Validate checks structural consistency.
+func (r ChipRecord) Validate() error {
+	if r.Version != FormatVersion {
+		return fmt.Errorf("persist: chip record version %d, want %d", r.Version, FormatVersion)
+	}
+	n := r.Rows * r.Cols
+	if r.Rows <= 0 || r.Cols <= 0 {
+		return fmt.Errorf("persist: invalid grid %d×%d", r.Rows, r.Cols)
+	}
+	if len(r.FMax0) != n || len(r.LeakFactor) != n || len(r.MeanTheta) != n {
+		return fmt.Errorf("persist: chip arrays inconsistent with %d cores", n)
+	}
+	for i, f := range r.FMax0 {
+		if f <= 0 {
+			return fmt.Errorf("persist: core %d has non-positive frequency", i)
+		}
+	}
+	return nil
+}
+
+// EpochRecord mirrors sim.EpochRecord with JSON tags.
+type EpochRecord struct {
+	Epoch        int     `json:"epoch"`
+	YearsElapsed float64 `json:"years"`
+	AvgHealth    float64 `json:"avg_health"`
+	MinHealth    float64 `json:"min_health"`
+	AvgFMax      float64 `json:"avg_fmax_hz"`
+	MaxFMax      float64 `json:"max_fmax_hz"`
+	AvgTemp      float64 `json:"avg_temp_k"`
+	PeakTemp     float64 `json:"peak_temp_k"`
+	DTMEvents    int     `json:"dtm_events"`
+	Mapped       int     `json:"mapped"`
+	Unmapped     int     `json:"unmapped"`
+	AvgIPS       float64 `json:"avg_ips"`
+}
+
+// ResultRecord is the serialisable lifetime result.
+type ResultRecord struct {
+	Version      int           `json:"version"`
+	Policy       string        `json:"policy"`
+	ChipSeed     int64         `json:"chip_seed"`
+	DarkFraction float64       `json:"dark_fraction"`
+	Years        float64       `json:"years"`
+	EpochYears   float64       `json:"epoch_years"`
+	InitialFMax  []float64     `json:"initial_fmax_hz"`
+	FinalFMax    []float64     `json:"final_fmax_hz"`
+	FinalHealth  []float64     `json:"final_health"`
+	Migrations   int           `json:"dtm_migrations"`
+	Throttles    int           `json:"dtm_throttles"`
+	Epochs       []EpochRecord `json:"epochs"`
+}
+
+// NewResultRecord captures a simulation result.
+func NewResultRecord(res *sim.Result) ResultRecord {
+	rec := ResultRecord{
+		Version:      FormatVersion,
+		Policy:       res.Policy,
+		ChipSeed:     res.ChipSeed,
+		DarkFraction: res.Config.DarkFraction,
+		Years:        res.Config.Years,
+		EpochYears:   res.Config.EpochYears,
+		InitialFMax:  append([]float64(nil), res.InitialFMax...),
+		FinalFMax:    append([]float64(nil), res.FinalFMax...),
+		FinalHealth:  append([]float64(nil), res.FinalHealth...),
+		Migrations:   res.TotalDTM.Migrations,
+		Throttles:    res.TotalDTM.Throttles,
+	}
+	for _, e := range res.Records {
+		rec.Epochs = append(rec.Epochs, EpochRecord{
+			Epoch: e.Epoch, YearsElapsed: e.YearsElapsed,
+			AvgHealth: e.AvgHealth, MinHealth: e.MinHealth,
+			AvgFMax: e.AvgFMax, MaxFMax: e.MaxFMax,
+			AvgTemp: e.AvgTemp, PeakTemp: e.PeakTemp,
+			DTMEvents: e.DTMEvents, Mapped: e.Mapped, Unmapped: e.Unmapped,
+			AvgIPS: e.AvgIPS,
+		})
+	}
+	return rec
+}
+
+// SaveResult writes the result as indented JSON.
+func SaveResult(w io.Writer, res *sim.Result) error {
+	return writeJSON(w, NewResultRecord(res))
+}
+
+// LoadResult reads a result record and validates it.
+func LoadResult(r io.Reader) (ResultRecord, error) {
+	var rec ResultRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return ResultRecord{}, fmt.Errorf("persist: decoding result: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return ResultRecord{}, err
+	}
+	return rec, nil
+}
+
+// Validate checks structural consistency.
+func (r ResultRecord) Validate() error {
+	if r.Version != FormatVersion {
+		return fmt.Errorf("persist: result record version %d, want %d", r.Version, FormatVersion)
+	}
+	if r.Policy == "" {
+		return fmt.Errorf("persist: result without policy name")
+	}
+	n := len(r.InitialFMax)
+	if n == 0 || len(r.FinalFMax) != n || len(r.FinalHealth) != n {
+		return fmt.Errorf("persist: per-core arrays inconsistent")
+	}
+	if len(r.Epochs) == 0 {
+		return fmt.Errorf("persist: result without epochs")
+	}
+	prev := 0.0
+	for i, e := range r.Epochs {
+		if e.YearsElapsed <= prev {
+			return fmt.Errorf("persist: epoch %d years not increasing", i)
+		}
+		prev = e.YearsElapsed
+	}
+	return nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("persist: encoding: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/kit-ces/hayat/internal/workload"
+)
+
+func testThread(t *testing.T) *workload.Thread {
+	t.Helper()
+	p, ok := workload.ProfileByName("x264")
+	if !ok {
+		t.Fatal("missing profile")
+	}
+	app, err := workload.NewApp(p, 0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.Threads[0]
+}
+
+func TestDutyModes(t *testing.T) {
+	th := testThread(t)
+	if d := DutyGeneric.Duty(th); d != 0.5 {
+		t.Errorf("generic duty = %v", d)
+	}
+	if d := DutyWorstCase.Duty(th); d != 1.0 {
+		t.Errorf("worst-case duty = %v", d)
+	}
+	want := th.App.Profile.AverageDuty()
+	if d := DutyKnown.Duty(th); math.Abs(d-want) > 1e-12 {
+		t.Errorf("known duty = %v, want %v", d, want)
+	}
+	if want <= 0 || want > 1 {
+		t.Errorf("profile average duty %v out of range", want)
+	}
+}
+
+func TestContextValidate(t *testing.T) {
+	// A full valid context requires the heavyweight fixture; here we only
+	// exercise the structural failure paths reachable without one.
+	var c Context
+	if err := c.Validate(); err == nil {
+		t.Error("empty context accepted")
+	}
+}
+
+func TestThreadDynPowerScalesWithRequirement(t *testing.T) {
+	th := testThread(t)
+	// Build a minimal context carrying only the power model.
+	ctx := &Context{}
+	ctx.PowerModel.NominalFreq = 3e9
+	ctx.PowerModel.MaxDynamicPower = 9
+	p := ctx.ThreadDynPower(th)
+	if p <= 0 {
+		t.Fatalf("dyn power = %v", p)
+	}
+	// x264 requires 2.6 GHz with high activity: power must be a large
+	// fraction of the 9 W peak but below it.
+	if p < 3 || p >= 9 {
+		t.Fatalf("dyn power = %v W, want within (3, 9)", p)
+	}
+	// Doubling the power budget doubles the estimate.
+	ctx2 := &Context{}
+	ctx2.PowerModel.NominalFreq = 3e9
+	ctx2.PowerModel.MaxDynamicPower = 18
+	if p2 := ctx2.ThreadDynPower(th); math.Abs(p2-2*p) > 1e-9 {
+		t.Fatalf("power not linear in budget: %v vs %v", p2, 2*p)
+	}
+}

@@ -1,0 +1,161 @@
+// Package report renders the paper's figures and tables as text: per-core
+// heat maps (the frequency/temperature maps of Fig. 2 and Fig. 11 left),
+// aligned tables (Fig. 2(o)), bar-style normalised comparisons
+// (Figs. 7–10) and TSV series (Fig. 11 right).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// shades orders the heat-map glyphs from coldest to hottest.
+var shades = []rune(" .:-=+*#%@")
+
+// HeatMap renders a per-core value grid. Values are normalised between
+// lo and hi (auto-scaled when lo == hi); each cell shows one shade glyph.
+func HeatMap(values []float64, rows, cols int, lo, hi float64) string {
+	if rows*cols != len(values) {
+		panic(fmt.Sprintf("report: %d values cannot render as %d×%d", len(values), rows, cols))
+	}
+	if lo == hi {
+		lo, hi = values[0], values[0]
+		for _, v := range values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := values[r*cols+c]
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(shades)-1))
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NumericMap renders a per-core grid of numbers with the given printf
+// format (e.g. "%5.2f"), one row per line.
+func NumericMap(values []float64, rows, cols int, format string) string {
+	if rows*cols != len(values) {
+		panic(fmt.Sprintf("report: %d values cannot render as %d×%d", len(values), rows, cols))
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, format, values[r*cols+c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders an aligned text table. All rows must have the same number
+// of cells as the header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			panic("report: ragged table row")
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar of the given value on a [0, max] scale
+// (width glyph cells), annotated with the numeric value.
+func Bar(label string, value, max float64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	fill := 0
+	if max > 0 {
+		fill = int(value / max * float64(width))
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	if fill > width {
+		fill = width
+	}
+	return fmt.Sprintf("%-12s |%s%s| %.3f", label,
+		strings.Repeat("█", fill), strings.Repeat(" ", width-fill), value)
+}
+
+// TSV renders columns as tab-separated values with a header row. All
+// columns must have equal length.
+func TSV(header []string, cols ...[]float64) string {
+	if len(cols) != len(header) {
+		panic("report: TSV header/column count mismatch")
+	}
+	n := 0
+	for i, c := range cols {
+		if i == 0 {
+			n = len(c)
+		} else if len(c) != n {
+			panic("report: TSV ragged columns")
+		}
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(header, "\t"))
+	b.WriteByte('\n')
+	for r := 0; r < n; r++ {
+		for i := range cols {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			fmt.Fprintf(&b, "%g", cols[i][r])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

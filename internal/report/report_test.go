@@ -1,0 +1,134 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatMapShape(t *testing.T) {
+	vals := []float64{0, 1, 2, 3}
+	out := HeatMap(vals, 2, 2, 0, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len([]rune(lines[0])) != 2 {
+		t.Fatalf("unexpected shape:\n%s", out)
+	}
+	// Coldest cell renders the first shade, hottest the last.
+	if []rune(lines[0])[0] != ' ' {
+		t.Errorf("coldest glyph = %q", []rune(lines[0])[0])
+	}
+	if []rune(lines[1])[1] != '@' {
+		t.Errorf("hottest glyph = %q", []rune(lines[1])[1])
+	}
+}
+
+func TestHeatMapAutoScaleAndUniform(t *testing.T) {
+	// Auto-scale (lo == hi): must not panic and must span shades.
+	out := HeatMap([]float64{300, 350}, 1, 2, 0, 0)
+	if !strings.ContainsRune(out, '@') {
+		t.Errorf("auto-scaled map lacks hottest glyph: %q", out)
+	}
+	// All-equal values: single shade, no panic.
+	out = HeatMap([]float64{5, 5, 5, 5}, 2, 2, 0, 0)
+	if strings.TrimRight(out, "\n") != "  \n  "[0:2]+"\n"+"  " {
+		// Just check it's two lines of two identical glyphs.
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != 2 || lines[0] != lines[1] {
+			t.Errorf("uniform map irregular: %q", out)
+		}
+	}
+}
+
+func TestHeatMapClampsOutOfRange(t *testing.T) {
+	out := HeatMap([]float64{-10, 999}, 1, 2, 0, 1)
+	runes := []rune(strings.TrimRight(out, "\n"))
+	if runes[0] != ' ' || runes[1] != '@' {
+		t.Fatalf("clamping failed: %q", out)
+	}
+}
+
+func TestHeatMapPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HeatMap([]float64{1, 2, 3}, 2, 2, 0, 1)
+}
+
+func TestNumericMap(t *testing.T) {
+	out := NumericMap([]float64{1, 2, 3, 4}, 2, 2, "%.1f")
+	want := "1.0 2.0\n3.0 4.0\n"
+	if out != want {
+		t.Fatalf("NumericMap = %q, want %q", out, want)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Policy", "Events"}, [][]string{
+		{"Hayat", "3"},
+		{"VAA", "1398"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// All lines equal width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) > w+1 {
+			t.Errorf("line %d much wider than header: %q", i, l)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	if !strings.Contains(out, "1398") {
+		t.Error("cell content missing")
+	}
+}
+
+func TestTablePanicsOnRaggedRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Table([]string{"a", "b"}, [][]string{{"only-one"}})
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("Hayat", 0.5, 1.0, 10)
+	if !strings.Contains(out, "█████") {
+		t.Errorf("bar fill wrong: %q", out)
+	}
+	if !strings.Contains(out, "0.500") {
+		t.Errorf("bar value missing: %q", out)
+	}
+	// Overflow clamps.
+	out = Bar("x", 5, 1, 4)
+	if strings.Count(out, "█") != 4 {
+		t.Errorf("overflow not clamped: %q", out)
+	}
+	// Zero max doesn't divide by zero.
+	out = Bar("x", 1, 0, 4)
+	if !strings.Contains(out, "|") {
+		t.Errorf("zero-max bar: %q", out)
+	}
+}
+
+func TestTSV(t *testing.T) {
+	out := TSV([]string{"year", "ghz"}, []float64{0, 1}, []float64{3, 2.9})
+	want := "year\tghz\n0\t3\n1\t2.9\n"
+	if out != want {
+		t.Fatalf("TSV = %q, want %q", out, want)
+	}
+}
+
+func TestTSVPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TSV([]string{"a"}, []float64{1}, []float64{2})
+}

@@ -1,0 +1,258 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file renders the paper's figures as standalone SVG documents —
+// line charts (Fig. 1(b), Fig. 11 right), bar charts (Figs. 7–10) and
+// per-core heat maps (Fig. 2, Fig. 11 left) — using only the standard
+// library. cmd/experiments -svg writes them to disk.
+
+// svgPalette holds the series colours (colour-blind-safe Okabe–Ito).
+var svgPalette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000",
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// SVGLineChart renders series as a line chart with axes, ticks and a
+// legend. It panics on ragged series and returns a complete SVG document.
+func SVGLineChart(title, xlabel, ylabel string, series []Series) string {
+	const (
+		w, h          = 640, 420
+		mLeft, mRight = 70, 20
+		mTop, mBottom = 40, 55
+		plotW, plotH  = w - mLeft - mRight, h - mTop - mBottom
+	)
+	if len(series) == 0 {
+		panic("report: SVGLineChart without series")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			panic("report: ragged or empty series " + s.Name)
+		}
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 { return mLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return mTop + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	svgHeader(&b, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-size="16" font-family="sans-serif">%s</text>`+"\n", w/2, svgEscape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n", mLeft, mTop, plotW, plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 5; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/5
+		yv := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			px(xv), mTop+plotH, px(xv), mTop+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			px(xv), mTop+plotH+18, svgNum(xv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333"/>`+"\n",
+			mLeft-5, py(yv), mLeft, py(yv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			mLeft-8, py(yv)+4, svgNum(yv))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="13" font-family="sans-serif">%s</text>`+"\n",
+		mLeft+plotW/2, h-12, svgEscape(xlabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-size="13" font-family="sans-serif" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		mTop+plotH/2, mTop+plotH/2, svgEscape(ylabel))
+
+	// Lines.
+	for si, s := range series {
+		colour := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), colour)
+		// Legend.
+		ly := mTop + 14 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			mLeft+plotW-130, ly, mLeft+plotW-105, ly, colour)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">%s</text>`+"\n",
+			mLeft+plotW-100, ly+4, svgEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SVGBarChart renders labelled value pairs (e.g. the Hayat/VAA normalised
+// ratios of Figs. 7–10). A reference line is drawn at ref when ref > 0.
+func SVGBarChart(title string, labels []string, values []float64, ref float64) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		panic("report: SVGBarChart label/value mismatch")
+	}
+	const (
+		w, h          = 640, 360
+		mLeft, mRight = 160, 30
+		mTop, mBottom = 40, 30
+	)
+	plotW := w - mLeft - mRight
+	plotH := h - mTop - mBottom
+	vmax := ref
+	for _, v := range values {
+		if v > vmax {
+			vmax = v
+		}
+	}
+	if vmax <= 0 {
+		vmax = 1
+	}
+	vmax *= 1.1
+	barH := plotH / len(labels)
+
+	var b strings.Builder
+	svgHeader(&b, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-size="16" font-family="sans-serif">%s</text>`+"\n", w/2, svgEscape(title))
+	for i := range labels {
+		y := mTop + i*barH
+		bw := values[i] / vmax * float64(plotW)
+		colour := svgPalette[i%len(svgPalette)]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="%s" opacity="0.85"/>`+"\n",
+			mLeft, y+4, bw, barH-8, colour)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" font-size="12" font-family="sans-serif">%s</text>`+"\n",
+			mLeft-8, y+barH/2+4, svgEscape(labels[i]))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" font-family="sans-serif">%.3f</text>`+"\n",
+			mLeft+bw+6, y+barH/2+4, values[i])
+	}
+	if ref > 0 {
+		x := mLeft + ref/vmax*float64(plotW)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999" stroke-dasharray="5,4"/>`+"\n",
+			x, mTop, x, mTop+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="11" font-family="sans-serif" fill="#666">%s</text>`+"\n",
+			x, mTop-6, svgNum(ref))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SVGHeatMap renders a per-core value grid with a blue→red colour ramp
+// and a numeric scale; lo == hi auto-scales.
+func SVGHeatMap(title string, values []float64, rows, cols int, lo, hi float64) string {
+	if rows*cols != len(values) {
+		panic(fmt.Sprintf("report: %d values cannot render as %d×%d", len(values), rows, cols))
+	}
+	if lo == hi {
+		lo, hi = values[0], values[0]
+		for _, v := range values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	const cell = 46
+	w := cols*cell + 140
+	h := rows*cell + 60
+	var b strings.Builder
+	svgHeader(&b, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-size="15" font-family="sans-serif">%s</text>`+"\n", w/2, svgEscape(title))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := values[r*cols+c]
+			fr := (v - lo) / (hi - lo)
+			if fr < 0 {
+				fr = 0
+			}
+			if fr > 1 {
+				fr = 1
+			}
+			x := 20 + c*cell
+			y := 40 + r*cell
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#fff"/>`+"\n",
+				x, y, cell, cell, rampColour(fr))
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="10" font-family="sans-serif" fill="%s">%s</text>`+"\n",
+				x+cell/2, y+cell/2+4, textColour(fr), svgNum(v))
+		}
+	}
+	// Colour-bar legend.
+	lx := 20 + cols*cell + 20
+	for i := 0; i < 10; i++ {
+		fr := 1 - float64(i)/9
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="18" height="%d" fill="%s"/>`+"\n",
+			lx, 40+i*(rows*cell)/10, (rows*cell)/10+1, rampColour(fr))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="36" font-size="11" font-family="sans-serif">%s</text>`+"\n", lx, svgNum(hi))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`+"\n", lx, 40+rows*cell+14, svgNum(lo))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// rampColour maps [0,1] onto a blue→yellow→red ramp.
+func rampColour(f float64) string {
+	// 0 → blue (59,76,192), 0.5 → pale yellow (240,230,140), 1 → red (180,4,38)
+	var r, g, bb float64
+	if f < 0.5 {
+		t := f * 2
+		r = 59 + t*(240-59)
+		g = 76 + t*(230-76)
+		bb = 192 + t*(140-192)
+	} else {
+		t := (f - 0.5) * 2
+		r = 240 + t*(180-240)
+		g = 230 + t*(4-230)
+		bb = 140 + t*(38-140)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(bb))
+}
+
+// textColour keeps cell labels readable against the ramp.
+func textColour(f float64) string {
+	if f > 0.75 || f < 0.2 {
+		return "#ffffff"
+	}
+	return "#222222"
+}
+
+func svgHeader(b *strings.Builder, w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", w, h)
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func svgNum(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGLineChartWellFormed(t *testing.T) {
+	out := SVGLineChart("Fig. 11", "years", "GHz", []Series{
+		{Name: "Hayat", X: []float64{0, 5, 10}, Y: []float64{3.0, 2.7, 2.5}},
+		{Name: "VAA", X: []float64{0, 5, 10}, Y: []float64{3.0, 2.6, 2.4}},
+	})
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Hayat", "VAA", "years", "GHz"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("expected two polylines")
+	}
+}
+
+func TestSVGLineChartDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	out := SVGLineChart("flat", "x", "y", []Series{
+		{Name: "c", X: []float64{1, 1}, Y: []float64{5, 5}},
+	})
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("degenerate chart incomplete")
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatal("degenerate chart produced NaN/Inf coordinates")
+	}
+}
+
+func TestSVGLineChartPanics(t *testing.T) {
+	cases := []func(){
+		func() { SVGLineChart("t", "x", "y", nil) },
+		func() { SVGLineChart("t", "x", "y", []Series{{Name: "r", X: []float64{1}, Y: []float64{1, 2}}}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSVGBarChart(t *testing.T) {
+	out := SVGBarChart("Fig. 7", []string{"Hayat", "VAA"}, []float64{0.28, 1.0}, 1.0)
+	for _, want := range []string{"<svg", "Hayat", "VAA", "0.280", "1.000", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels accepted")
+		}
+	}()
+	SVGBarChart("t", []string{"a"}, []float64{1, 2}, 0)
+}
+
+func TestSVGHeatMap(t *testing.T) {
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	out := SVGHeatMap("temps", vals, 4, 4, 0, 0)
+	if strings.Count(out, "<rect") < 16 {
+		t.Fatal("missing cells")
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("incomplete document")
+	}
+	// Uniform values auto-scale without NaN.
+	out = SVGHeatMap("flat", []float64{2, 2, 2, 2}, 2, 2, 0, 0)
+	if strings.Contains(out, "NaN") {
+		t.Fatal("uniform map produced NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	SVGHeatMap("t", vals, 3, 3, 0, 0)
+}
+
+func TestRampColourEndpoints(t *testing.T) {
+	if rampColour(0) != "#3b4cc0" {
+		t.Errorf("cold endpoint = %s", rampColour(0))
+	}
+	if rampColour(1) != "#b40426" {
+		t.Errorf("hot endpoint = %s", rampColour(1))
+	}
+	// Midpoint is the pale yellow.
+	if rampColour(0.5) != "#f0e68c" {
+		t.Errorf("midpoint = %s", rampColour(0.5))
+	}
+}
+
+func TestSvgNumScales(t *testing.T) {
+	cases := map[float64]string{
+		3.2e9:  "3.20G",
+		4.5e6:  "4.5M",
+		345.6:  "346",
+		2.345:  "2.35",
+		0.1234: "0.123",
+	}
+	for in, want := range cases {
+		if got := svgNum(in); got != want {
+			t.Errorf("svgNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Checkpoint + Resume must reproduce the one-shot run exactly when no DTM
+// transients straddle the boundary (50 % dark stays cool, so none do).
+func TestCheckpointResumeMatchesOneShot(t *testing.T) {
+	cfg := shortConfig() // 4 epochs, RemixEpochs 4 → boundary only at 0/4
+	cfg.RemixEpochs = 2  // boundaries at 0 and 2
+	mkEngine := func() *Engine { return newEngine(t, cfg, hayatPolicy(t), 17) }
+
+	full, err := mkEngine().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := mkEngine()
+	cp, err := e2.RunCheckpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.NextEpoch != 2 || len(cp.Records) != 2 {
+		t.Fatalf("checkpoint meta: %+v", cp)
+	}
+	// Serialise through JSON to prove the round trip.
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := mkEngine().Resume(cp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(resumed.Records) != len(full.Records) {
+		t.Fatalf("records: %d vs %d", len(resumed.Records), len(full.Records))
+	}
+	for i := range full.Records {
+		if resumed.Records[i] != full.Records[i] {
+			t.Fatalf("epoch %d differs:\n one-shot %+v\n resumed  %+v", i, full.Records[i], resumed.Records[i])
+		}
+	}
+	for i := range full.FinalHealth {
+		if resumed.FinalHealth[i] != full.FinalHealth[i] {
+			t.Fatalf("final health differs at core %d", i)
+		}
+	}
+	if resumed.TotalDTM != full.TotalDTM {
+		t.Fatalf("DTM totals differ: %+v vs %+v", resumed.TotalDTM, full.TotalDTM)
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	cfg := shortConfig()
+	cfg.RemixEpochs = 2
+	e := newEngine(t, cfg, hayatPolicy(t), 18)
+	cp, err := e.RunCheckpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong chip.
+	other := newEngine(t, cfg, hayatPolicy(t), 19)
+	if _, err := other.Resume(cp); err == nil {
+		t.Error("checkpoint accepted by a different chip")
+	}
+	// Wrong policy.
+	vaa := newEngine(t, cfg, vaaPolicy(t), 18)
+	if _, err := vaa.Resume(cp); err == nil {
+		t.Error("checkpoint accepted by a different policy")
+	}
+	// Off-boundary epoch.
+	bad := *cp
+	bad.NextEpoch = 3
+	bad.Records = append(bad.Records, EpochRecord{})
+	if _, err := e.Resume(&bad); err == nil {
+		t.Error("off-boundary checkpoint accepted")
+	}
+	// Corrupt health.
+	bad2 := *cp
+	bad2.Health = append([]float64(nil), cp.Health...)
+	bad2.Health[0] = -1
+	if _, err := e.Resume(&bad2); err == nil {
+		t.Error("corrupt health accepted")
+	}
+	// Record/epoch mismatch.
+	bad3 := *cp
+	bad3.Records = cp.Records[:1]
+	if _, err := e.Resume(&bad3); err == nil {
+		t.Error("record mismatch accepted")
+	}
+	// RunCheckpoint range check.
+	if _, err := e.RunCheckpoint(99); err == nil {
+		t.Error("out-of-range checkpoint epoch accepted")
+	}
+}
+
+func TestCheckpointUnsupportedWithoutRemix(t *testing.T) {
+	cfg := shortConfig()
+	cfg.RemixEpochs = 0
+	e := newEngine(t, cfg, vaaPolicy(t), 18)
+	if _, err := e.RunCheckpoint(2); err == nil {
+		t.Fatal("mid-run checkpoint without remix boundaries accepted")
+	}
+	// Epoch 0 is fine (trivial checkpoint).
+	cp, err := e.RunCheckpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Resume(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != e.Epochs() {
+		t.Fatalf("%d records", len(res.Records))
+	}
+}
+
+func TestReadCheckpointGarbage(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

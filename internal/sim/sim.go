@@ -1,0 +1,681 @@
+// Package sim implements the accelerated-aging evaluation engine of
+// Fig. 4: coarse-grained aging epochs (months) each containing a
+// fine-grained transient thermal simulation window (seconds), with the
+// window's temperature and duty-cycle statistics up-scaled to the epoch
+// length to advance the per-core NBTI aging state.
+//
+// Within each epoch the engine runs the closed loop the paper describes:
+// the policy (Hayat or VAA) maps the current workload mix, the transient
+// thermal solver integrates the resulting power traces (with
+// temperature-dependent leakage), DTM migrates or throttles threads on
+// thermal emergencies, and the health monitors (the per-core aging
+// sensors D_i) report the degraded maximum frequencies back to the policy
+// at the next epoch boundary.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/kit-ces/hayat/internal/aging"
+	"github.com/kit-ces/hayat/internal/dtm"
+	"github.com/kit-ces/hayat/internal/dvfs"
+	"github.com/kit-ces/hayat/internal/mapping"
+	"github.com/kit-ces/hayat/internal/policy"
+	"github.com/kit-ces/hayat/internal/power"
+	"github.com/kit-ces/hayat/internal/thermal"
+	"github.com/kit-ces/hayat/internal/thermpredict"
+	"github.com/kit-ces/hayat/internal/variation"
+	"github.com/kit-ces/hayat/internal/workload"
+)
+
+// Config controls one lifetime simulation.
+type Config struct {
+	// DarkFraction is the minimum dark-silicon fraction (0.25 or 0.50 in
+	// the paper's experiments).
+	DarkFraction float64
+	// Years is the simulated lifetime (paper: 10).
+	Years float64
+	// EpochYears is the aging-epoch length (paper: 3 or 6 months).
+	EpochYears float64
+	// WindowSeconds is the fine-grained transient window simulated per
+	// epoch; its statistics are up-scaled to the epoch.
+	WindowSeconds float64
+	// StepSeconds is the transient integration step.
+	StepSeconds float64
+	// DTMEverySteps is how often (in steps) the DTM manager inspects
+	// temperatures.
+	DTMEverySteps int
+	// DTM is the thermal-management configuration.
+	DTM dtm.Config
+	// DutyMode selects the duty estimate the policy uses.
+	DutyMode policy.DutyMode
+	// HorizonYears is the policy's health-prediction horizon (defaults to
+	// EpochYears when zero).
+	HorizonYears float64
+	// MixApps is the number of applications per workload mix.
+	MixApps int
+	// MixSeed seeds workload-mix generation.
+	MixSeed int64
+	// RemixEpochs > 0 draws a fresh mix every that-many epochs ("the next
+	// epoch starts considering the same set of workloads (or potentially
+	// a different one)"). Zero keeps one mix for the whole lifetime.
+	RemixEpochs int
+	// IncumbencyEpochs is how many epochs back a core counts as part of
+	// the recent DCM for the policy's PrevOn signal. Mix sizes oscillate
+	// across remixes; a multi-epoch memory keeps the stressed core set
+	// stable instead of resetting whenever a small mix darkens part of
+	// the DCM (see policy.Context.PrevOn).
+	IncumbencyEpochs int
+	// FreqLevels is the optional discrete DVFS ladder (nil = continuous,
+	// the paper's assumption). Threads run at their requirement rounded
+	// up to the ladder; policies and DTM judge eligibility against the
+	// rounded value.
+	FreqLevels dvfs.Levels
+	// TurboBoost enables the performance-boosting mode the paper cites as
+	// an aging aggravator (Intel Turbo Boost [21]): a thread overclocks to
+	// its core's aged f_max whenever the core sits below
+	// TSafe − TurboMarginK, instead of running at exactly its required
+	// frequency. More instructions retire, more power burns, aging
+	// accelerates — the trade Fig. 1(b) warns about.
+	TurboBoost   bool
+	TurboMarginK float64
+	// SensorNoiseSigma models imperfect aging sensors [9, 10]: the
+	// per-core maximum frequency the policy sees is the true aged value
+	// multiplied by (1 + σ·N(0,1)), drawn deterministically per epoch.
+	// Zero means ideal health monitors. Threads that land on cores whose
+	// TRUE fmax is below their requirement are counted as requirement
+	// violations in the epoch records.
+	SensorNoiseSigma float64
+	// MigrationStallSeconds is the performance cost of a DTM migration:
+	// the migrated thread stalls (no instructions retired, halved
+	// switching activity while architectural state and caches refill) for
+	// this long. Zero disables the cost model. The paper notes migrations
+	// imply "performance overhead"; this makes that overhead measurable
+	// in the AvgIPS records.
+	MigrationStallSeconds float64
+	// Malleable enables the malleable application model of [23, 24]: when
+	// the policy cannot place some of an application's threads (aged or
+	// thermally constrained chip), the application's degree of
+	// parallelism K_j is reduced for subsequent epochs, keeping exactly
+	// the threads that were placed; it grows back (one thread per epoch,
+	// up to the profile's bounds) while everything fits.
+	Malleable bool
+}
+
+// DefaultConfig returns the paper's experimental settings: 10 years in
+// 3-month epochs at 50 % dark silicon.
+func DefaultConfig() Config {
+	return Config{
+		DarkFraction:          0.50,
+		Years:                 10,
+		EpochYears:            0.25,
+		WindowSeconds:         4.0,
+		StepSeconds:           0.02,
+		DTMEverySteps:         1,
+		DTM:                   dtm.DefaultConfig(),
+		MigrationStallSeconds: 0.04,
+		DutyMode:              policy.DutyKnown,
+		MixApps:               4,
+		MixSeed:               1,
+		RemixEpochs:           4,
+		IncumbencyEpochs:      8,
+		Malleable:             true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DarkFraction < 0 || c.DarkFraction >= 1 {
+		return fmt.Errorf("sim: DarkFraction %v outside [0,1)", c.DarkFraction)
+	}
+	if c.Years <= 0 || c.EpochYears <= 0 || c.EpochYears > c.Years {
+		return fmt.Errorf("sim: invalid Years=%v EpochYears=%v", c.Years, c.EpochYears)
+	}
+	if c.WindowSeconds <= 0 || c.StepSeconds <= 0 || c.StepSeconds > c.WindowSeconds {
+		return fmt.Errorf("sim: invalid window (%v s, step %v s)", c.WindowSeconds, c.StepSeconds)
+	}
+	if c.DTMEverySteps < 1 {
+		return fmt.Errorf("sim: DTMEverySteps must be ≥1")
+	}
+	if err := c.DTM.Validate(); err != nil {
+		return err
+	}
+	if c.MixApps <= 0 {
+		return fmt.Errorf("sim: MixApps must be positive")
+	}
+	if c.IncumbencyEpochs < 0 {
+		return fmt.Errorf("sim: negative IncumbencyEpochs")
+	}
+	if c.SensorNoiseSigma < 0 {
+		return fmt.Errorf("sim: negative SensorNoiseSigma")
+	}
+	if c.MigrationStallSeconds < 0 {
+		return fmt.Errorf("sim: negative MigrationStallSeconds")
+	}
+	if c.TurboBoost && c.TurboMarginK < 0 {
+		return fmt.Errorf("sim: negative TurboMarginK")
+	}
+	if err := c.FreqLevels.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// EpochRecord captures one epoch's outcome.
+type EpochRecord struct {
+	Epoch        int
+	YearsElapsed float64 // at the END of this epoch
+	// Health/frequency state at the end of the epoch.
+	AvgHealth, MinHealth float64
+	AvgFMax, MaxFMax     float64 // Hz, aged
+	// Thermal statistics over the fine-grained window.
+	AvgTemp, PeakTemp float64 // Kelvin: time-and-space average / peak
+	// MaxSwing is the largest per-core temperature swing (max − min over
+	// the window, Kelvin) — a thermal-cycling proxy for the fatigue
+	// mechanisms (solder, electromigration) that accompany NBTI.
+	MaxSwing float64
+	// DTM accounting within the epoch.
+	DTMEvents int
+	// Threads mapped / left unmapped by the policy this epoch.
+	Mapped, Unmapped int
+	// Violations counts threads mapped (under noisy sensor readings) to
+	// cores whose true aged fmax cannot satisfy their requirement.
+	Violations int
+	// Throughput proxy: sum of delivered IPS over the window divided by
+	// the window (instructions per second, aggregated over cores).
+	AvgIPS float64
+}
+
+// Result is a whole lifetime simulation.
+type Result struct {
+	Policy      string
+	Config      Config
+	ChipSeed    int64
+	InitialFMax []float64
+	FinalFMax   []float64
+	FinalHealth []float64
+	Records     []EpochRecord
+	TotalDTM    dtm.Stats
+	// FinalTemps is the last window's time-averaged per-core temperature.
+	FinalTemps []float64
+}
+
+// AvgFMaxAt returns the chip-average aged fmax (Hz) after `years`,
+// interpolated on epoch boundaries (year 0 = initial).
+func (r *Result) AvgFMaxAt(years float64) float64 {
+	if years <= 0 || len(r.Records) == 0 {
+		sum := 0.0
+		for _, f := range r.InitialFMax {
+			sum += f
+		}
+		return sum / float64(len(r.InitialFMax))
+	}
+	prevYears, prevVal := 0.0, r.AvgFMaxAt(0)
+	for _, rec := range r.Records {
+		if rec.YearsElapsed >= years {
+			frac := (years - prevYears) / (rec.YearsElapsed - prevYears)
+			return prevVal + frac*(rec.AvgFMax-prevVal)
+		}
+		prevYears, prevVal = rec.YearsElapsed, rec.AvgFMax
+	}
+	return prevVal
+}
+
+// Engine drives one chip through its lifetime under one policy.
+type Engine struct {
+	cfg  Config
+	pol  policy.Policy
+	chip *variation.Chip
+	tm   *thermal.Model
+	pm   power.Model
+	pred *thermpredict.Predictor
+	tab  *aging.Table3D
+
+	trace      TraceSink
+	traceEvery int
+}
+
+// New wires an engine. All dependencies must belong to the same chip.
+func New(cfg Config, pol policy.Policy, chip *variation.Chip, tm *thermal.Model,
+	pm power.Model, pred *thermpredict.Predictor, tab *aging.Table3D) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil || chip == nil || tm == nil || pred == nil || tab == nil {
+		return nil, fmt.Errorf("sim: nil dependency")
+	}
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	if chip.Floorplan.N() != tm.Floorplan().N() {
+		return nil, fmt.Errorf("sim: chip and thermal model disagree on core count")
+	}
+	return &Engine{cfg: cfg, pol: pol, chip: chip, tm: tm, pm: pm, pred: pred, tab: tab}, nil
+}
+
+// runState is the engine's resumable state between epochs.
+type runState struct {
+	health   []aging.State
+	fmax     []float64
+	temps    []float64
+	lastUsed []int
+	prevOn   []bool
+	records  []EpochRecord
+	dtmMgr   *dtm.Manager
+	tr       *thermal.Transient
+	mix      *workload.Mix
+}
+
+// newRunState builds the epoch-0 state.
+func (e *Engine) newRunState() (*runState, error) {
+	n := e.chip.Floorplan.N()
+	st := &runState{
+		health:   make([]aging.State, n),
+		fmax:     make([]float64, n),
+		temps:    make([]float64, n),
+		lastUsed: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		st.health[i] = aging.NewState()
+		st.fmax[i] = e.chip.FMax0[i]
+		st.temps[i] = e.tm.Ambient()
+		st.lastUsed[i] = -1 << 30
+	}
+	if err := st.attach(e); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// attach (re)creates the non-serialisable members (DTM manager, transient
+// integrator).
+func (st *runState) attach(e *Engine) error {
+	dtmCfg := e.cfg.DTM
+	dtmCfg.FreqLevels = e.cfg.FreqLevels
+	dtmMgr, err := dtm.NewManager(dtmCfg)
+	if err != nil {
+		return err
+	}
+	tr, err := e.tm.NewTransient(e.cfg.StepSeconds)
+	if err != nil {
+		return err
+	}
+	st.dtmMgr, st.tr = dtmMgr, tr
+	return nil
+}
+
+// Epochs returns the total epoch count for the configured lifetime.
+func (e *Engine) Epochs() int {
+	return int(e.cfg.Years/e.cfg.EpochYears + 0.5)
+}
+
+// Run simulates the full lifetime and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	st, err := e.newRunState()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.runRange(st, 0, e.Epochs()); err != nil {
+		return nil, err
+	}
+	return e.packageResult(st), nil
+}
+
+// runRange executes epochs [from, to).
+func (e *Engine) runRange(st *runState, from, to int) error {
+	cfg := e.cfg
+	n := e.chip.Floorplan.N()
+	horizon := cfg.HorizonYears
+	if horizon == 0 {
+		horizon = cfg.EpochYears
+	}
+	maxOn := maxOnCores(n, cfg.DarkFraction)
+	health, fmax, temps := st.health, st.fmax, st.temps
+	lastUsed, prevOn := st.lastUsed, st.prevOn
+	mix := st.mix
+	dtmMgr, tr := st.dtmMgr, st.tr
+	var err error
+
+	for ep := from; ep < to; ep++ {
+		// (Re-)draw the workload mix when due.
+		if mix == nil || (cfg.RemixEpochs > 0 && ep%cfg.RemixEpochs == 0) {
+			seed := cfg.MixSeed
+			if cfg.RemixEpochs > 0 {
+				seed += int64(ep / cfg.RemixEpochs)
+			}
+			mix, err = workload.GenerateMix(workload.MixConfig{MaxThreads: maxOn, Apps: cfg.MixApps}, seed)
+			if err != nil {
+				return err
+			}
+		}
+		threads := mix.Threads(nil)
+
+		// Policy decision at the epoch boundary, fed by the health
+		// monitors (current fmax, optionally noisy) and last measured
+		// temperatures.
+		sensedFMax := fmax
+		if cfg.SensorNoiseSigma > 0 {
+			noiseRng := rand.New(rand.NewSource(cfg.MixSeed ^ (int64(ep)+1)*0x9E3779B9))
+			sensedFMax = make([]float64, n)
+			for i := range fmax {
+				sensedFMax[i] = fmax[i] * (1 + cfg.SensorNoiseSigma*noiseRng.NormFloat64())
+				if sensedFMax[i] < 0 {
+					sensedFMax[i] = 0
+				}
+			}
+		}
+		ctx := &policy.Context{
+			Chip: e.chip, Predictor: e.pred, AgingTable: e.tab, PowerModel: e.pm,
+			TSafe: cfg.DTM.TSafe, MaxOnCores: maxOn, HorizonYears: horizon,
+			DutyMode: cfg.DutyMode,
+			Health:   health, FMax: sensedFMax, Temps: temps,
+			FreqLevels: cfg.FreqLevels,
+			PrevOn:     prevOn,
+		}
+		mres, err := e.pol.Map(ctx, threads)
+		if err != nil {
+			return fmt.Errorf("sim: %s mapping failed at epoch %d: %w", e.pol.Name(), ep, err)
+		}
+		asg := mres.Assignment
+
+		// Malleable adaptation: shrink applications to their placed
+		// thread sets, or grow them back while there is headroom.
+		if cfg.Malleable {
+			adaptParallelism(mix, asg, len(mres.Unmapped), maxOn, cfg.MixSeed+int64(ep))
+		}
+
+		// Fine-grained transient window.
+		rec := e.runWindow(ep, asg, mix, fmax, temps, dtmMgr, tr)
+
+		// Requirement violations are judged against the TRUE fmax the
+		// threads actually ran with this epoch (before it ages further).
+		violations := 0
+		for i := 0; i < n; i++ {
+			if th := asg.ThreadOn(i); th != nil && fmax[i] < th.MinFreq() {
+				violations++
+			}
+		}
+
+		// Remember recent DCM membership (after DTM migrations) for the
+		// next decision's incumbency signal: a core counts as incumbent
+		// for IncumbencyEpochs epochs after it last ran a thread.
+		if prevOn == nil {
+			prevOn = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			if asg.ThreadOn(i) != nil {
+				lastUsed[i] = ep
+			}
+			prevOn[i] = ep-lastUsed[i] < cfg.IncumbencyEpochs
+		}
+
+		// Up-scale the window statistics to the epoch and advance aging:
+		// worst-case temperature and occupancy-weighted duty per core
+		// (Section IV-B step 3).
+		for i := 0; i < n; i++ {
+			health[i].Advance(e.tab, rec.worstTemp[i], rec.dutyAvg[i], cfg.EpochYears)
+			fmax[i] = e.chip.FMax0[i] * health[i].Factor
+		}
+
+		// Record.
+		er := EpochRecord{
+			Epoch:        ep,
+			YearsElapsed: float64(ep+1) * cfg.EpochYears,
+			DTMEvents:    rec.dtmEvents,
+			Mapped:       asg.NumAssigned(),
+			Unmapped:     len(mres.Unmapped),
+			Violations:   violations,
+			AvgTemp:      rec.avgTemp,
+			PeakTemp:     rec.peakTemp,
+			MaxSwing:     rec.maxSwing,
+			AvgIPS:       rec.avgIPS,
+		}
+		er.AvgHealth, er.MinHealth = healthStats(health)
+		er.AvgFMax, er.MaxFMax = fmaxStats(fmax)
+		st.records = append(st.records, er)
+	}
+	st.prevOn = prevOn
+	st.mix = mix
+	return nil
+}
+
+// packageResult assembles the public Result from a finished state.
+func (e *Engine) packageResult(st *runState) *Result {
+	n := e.chip.Floorplan.N()
+	res := &Result{
+		Policy:      e.pol.Name(),
+		Config:      e.cfg,
+		ChipSeed:    e.chip.Seed,
+		InitialFMax: append([]float64(nil), e.chip.FMax0...),
+		Records:     st.records,
+	}
+	res.FinalFMax = append([]float64(nil), st.fmax...)
+	res.FinalHealth = make([]float64, n)
+	for i := range st.health {
+		res.FinalHealth[i] = st.health[i].Factor
+	}
+	res.FinalTemps = append([]float64(nil), st.temps...)
+	res.TotalDTM = st.dtmMgr.Stats()
+	return res
+}
+
+// windowStats accumulates fine-grained statistics for one epoch.
+type windowStats struct {
+	worstTemp []float64
+	bestTemp  []float64 // per-core minimum over the window
+	avgTempPC []float64 // per-core time average
+	dutyAvg   []float64
+	avgTemp   float64
+	peakTemp  float64
+	maxSwing  float64
+	dtmEvents int
+	avgIPS    float64
+}
+
+// runWindow executes the fine-grained transient simulation for one epoch
+// and updates temps in place with the per-core time-averaged temperatures.
+func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix,
+	fmax, temps []float64, dtmMgr *dtm.Manager, tr *thermal.Transient) *windowStats {
+
+	cfg := e.cfg
+	n := len(fmax)
+	st := &windowStats{
+		worstTemp: make([]float64, n),
+		bestTemp:  make([]float64, n),
+		avgTempPC: make([]float64, n),
+		dutyAvg:   make([]float64, n),
+	}
+	for i := range st.bestTemp {
+		st.bestTemp[i] = 1e9
+	}
+
+	// Start the window from the steady state of the mapping's current
+	// power, so the multi-second sink warm-up does not eat the window.
+	pdyn := make([]float64, n)
+	total := make([]float64, n)
+	e.corePowers(pdyn, total, asg, dtmMgr, temps, fmax, nil)
+	nodes := make([]float64, e.tm.NumNodes())
+	e.tm.SteadyState(total, nodes)
+	tr.SetState(nodes)
+	cur := tr.CoreTemps(nil)
+
+	steps := int(cfg.WindowSeconds/cfg.StepSeconds + 0.5)
+	if steps < 1 {
+		steps = 1
+	}
+	dtmBefore := dtmMgr.Stats()
+	tempSum := 0.0
+	ipsSum := 0.0
+	stall := make(map[*workload.Thread]float64)
+
+	for s := 0; s < steps; s++ {
+		e.corePowers(pdyn, total, asg, dtmMgr, cur, fmax, stall)
+		tr.Step(total)
+		cur = tr.CoreTemps(cur)
+
+		for i := 0; i < n; i++ {
+			if cur[i] > st.worstTemp[i] {
+				st.worstTemp[i] = cur[i]
+			}
+			if cur[i] < st.bestTemp[i] {
+				st.bestTemp[i] = cur[i]
+			}
+			if cur[i] > st.peakTemp {
+				st.peakTemp = cur[i]
+			}
+			st.avgTempPC[i] += cur[i]
+			tempSum += cur[i]
+			if th := asg.ThreadOn(i); th != nil {
+				if stall[th] > 0 {
+					continue // migration stall: no instructions retire
+				}
+				ph := th.Phase()
+				st.dutyAvg[i] += ph.Duty
+				f := e.operatingFreq(th, i, fmax, cur) * dtmMgr.FrequencyFactor(i)
+				ipsSum += ph.IPC * f
+			}
+		}
+		if s%cfg.DTMEverySteps == 0 {
+			for _, act := range dtmMgr.Step(cur, fmax, asg) {
+				if act.Kind == dtm.Migrate && cfg.MigrationStallSeconds > 0 {
+					stall[act.Thread] = cfg.MigrationStallSeconds
+				}
+			}
+		}
+		for th, left := range stall {
+			if left <= cfg.StepSeconds {
+				delete(stall, th)
+			} else {
+				stall[th] = left - cfg.StepSeconds
+			}
+		}
+		if e.trace != nil && s%e.traceEvery == 0 {
+			e.trace.Sample(epoch, s, float64(s)*cfg.StepSeconds, cur, total)
+		}
+		mix.Advance(cfg.StepSeconds)
+	}
+
+	inv := 1.0 / float64(steps)
+	for i := 0; i < n; i++ {
+		st.avgTempPC[i] *= inv
+		st.dutyAvg[i] *= inv
+		temps[i] = st.avgTempPC[i]
+		if swing := st.worstTemp[i] - st.bestTemp[i]; swing > st.maxSwing {
+			st.maxSwing = swing
+		}
+	}
+	st.avgTemp = tempSum * inv / float64(n)
+	st.avgIPS = ipsSum * inv
+	after := dtmMgr.Stats()
+	st.dtmEvents = after.Events() - dtmBefore.Events()
+	return st
+}
+
+// corePowers fills pdyn (dynamic only) and total (dynamic + leakage /
+// gated leakage) for the current assignment, thread phases and
+// temperatures.
+func (e *Engine) corePowers(pdyn, total []float64, asg *mapping.Assignment, dtmMgr *dtm.Manager, temps, fmax []float64, stall map[*workload.Thread]float64) {
+	for i := range pdyn {
+		th := asg.ThreadOn(i)
+		if th == nil {
+			pdyn[i] = 0
+			total[i] = e.pm.GatedLeakage
+			continue
+		}
+		ph := th.Phase()
+		f := e.operatingFreq(th, i, fmax, temps) * dtmMgr.FrequencyFactor(i)
+		activity := ph.Activity
+		if stall != nil && stall[th] > 0 {
+			activity *= 0.5 // cache/state refill burns power without retiring work
+		}
+		pdyn[i] = e.pm.DynamicPower(f, activity)
+		total[i] = pdyn[i] + e.pm.CoreLeakage(e.chip.LeakFactor[i], temps[i], true)
+	}
+}
+
+// adaptParallelism implements the malleable application model: each app
+// keeps the threads the mapping placed (dropping unplaced ones for the
+// next epoch); when everything was placed and budget remains, apps grow
+// one thread per epoch back toward their profile bounds.
+func adaptParallelism(mix *workload.Mix, asg *mapping.Assignment, unmapped, maxOn int, seed int64) {
+	if unmapped > 0 {
+		for _, a := range mix.Apps {
+			placed := 0
+			for _, t := range a.Threads {
+				if _, ok := asg.CoreOf(t); ok {
+					placed++
+				}
+			}
+			if placed == len(a.Threads) {
+				continue
+			}
+			a.Retain(func(t *workload.Thread) bool {
+				_, ok := asg.CoreOf(t)
+				return ok
+			})
+			want := placed
+			if want < a.Profile.MinThreads {
+				want = a.Profile.MinThreads
+			}
+			a.Resize(want, seed)
+		}
+		return
+	}
+	// Growth phase: one extra thread per epoch while it fits the budget.
+	if mix.NumThreads() < maxOn {
+		for _, a := range mix.Apps {
+			if len(a.Threads) < a.Profile.MaxThreads && mix.NumThreads() < maxOn {
+				a.Resize(len(a.Threads)+1, seed)
+				return // at most one growth step per epoch
+			}
+		}
+	}
+}
+
+// operatingFreq is the frequency a thread actually runs at on core i: its
+// requirement rounded up to the DVFS ladder (falling back to the raw
+// requirement if the ladder cannot serve it — the policy will already
+// have reported such threads unmapped), or, with TurboBoost enabled and
+// thermal headroom available, the core's aged f_max capped to the ladder.
+func (e *Engine) operatingFreq(th *workload.Thread, i int, fmax, temps []float64) float64 {
+	base := th.MinFreq()
+	if f, ok := e.cfg.FreqLevels.Required(base); ok {
+		base = f
+	}
+	if e.cfg.TurboBoost && temps != nil && temps[i] < e.cfg.DTM.TSafe-e.cfg.TurboMarginK {
+		if turbo, ok := e.cfg.FreqLevels.Cap(fmax[i]); ok && turbo > base {
+			return turbo
+		}
+	}
+	return base
+}
+
+func maxOnCores(n int, darkFraction float64) int {
+	on := int(float64(n) * (1 - darkFraction))
+	if on < 1 {
+		on = 1
+	}
+	return on
+}
+
+func healthStats(h []aging.State) (avg, min float64) {
+	min = 1
+	for i := range h {
+		avg += h[i].Factor
+		if h[i].Factor < min {
+			min = h[i].Factor
+		}
+	}
+	return avg / float64(len(h)), min
+}
+
+func fmaxStats(f []float64) (avg, max float64) {
+	for _, v := range f {
+		avg += v
+		if v > max {
+			max = v
+		}
+	}
+	return avg / float64(len(f)), max
+}

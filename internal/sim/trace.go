@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TraceSink receives fine-grained samples from the transient windows —
+// the debugging/inspection hook for the closed loop (per-step
+// temperatures and powers). Samples arrive in simulation order;
+// implementations must not retain the slices.
+type TraceSink interface {
+	Sample(epoch, step int, simTime float64, coreTemps, corePower []float64)
+}
+
+// SetTrace installs a trace sink sampling every `everySteps` transient
+// steps (≥1). Pass a nil sink to disable tracing.
+func (e *Engine) SetTrace(sink TraceSink, everySteps int) error {
+	if sink != nil && everySteps < 1 {
+		return fmt.Errorf("sim: trace interval must be ≥1, got %d", everySteps)
+	}
+	e.trace = sink
+	e.traceEvery = everySteps
+	return nil
+}
+
+// TSVTrace writes samples for selected cores as tab-separated values:
+// one row per sample with epoch, step, time, then T and P per core.
+type TSVTrace struct {
+	w     io.Writer
+	cores []int
+	wrote bool
+	err   error
+}
+
+// NewTSVTrace builds a sink for the given core indices (all cores when
+// nil — beware of volume).
+func NewTSVTrace(w io.Writer, cores []int) *TSVTrace {
+	return &TSVTrace{w: w, cores: cores}
+}
+
+// Err returns the first write error, if any.
+func (t *TSVTrace) Err() error { return t.err }
+
+// Sample implements TraceSink.
+func (t *TSVTrace) Sample(epoch, step int, simTime float64, coreTemps, corePower []float64) {
+	if t.err != nil {
+		return
+	}
+	cores := t.cores
+	if cores == nil {
+		cores = make([]int, len(coreTemps))
+		for i := range cores {
+			cores[i] = i
+		}
+	}
+	if !t.wrote {
+		var b strings.Builder
+		b.WriteString("epoch\tstep\ttime_s")
+		for _, c := range cores {
+			fmt.Fprintf(&b, "\tT%d_K\tP%d_W", c, c)
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(t.w, b.String()); err != nil {
+			t.err = err
+			return
+		}
+		t.wrote = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d\t%d\t%.4f", epoch, step, simTime)
+	for _, c := range cores {
+		if c < 0 || c >= len(coreTemps) {
+			t.err = fmt.Errorf("sim: trace core %d out of range", c)
+			return
+		}
+		fmt.Fprintf(&b, "\t%.3f\t%.3f", coreTemps[c], corePower[c])
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(t.w, b.String()); err != nil {
+		t.err = err
+	}
+}
+
+var _ TraceSink = (*TSVTrace)(nil)

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty inputs must give 0")
+	}
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	// Sample stddev of the classic example: sqrt(32/7).
+	if s := StdDev(v); math.Abs(s-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Fatal("single-sample stddev must be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{15, 20, 35, 40, 50}
+	cases := map[float64]float64{
+		0:   15,
+		50:  35,
+		100: 50,
+		25:  20,
+		75:  40,
+	}
+	for p, want := range cases {
+		if got := Percentile(v, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("median of {10,20} = %v", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 200)
+	for i := range v {
+		v[i] = 10 + rng.NormFloat64()
+	}
+	ci, err := BootstrapMeanCI(v, 0.95, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo >= ci.Hi {
+		t.Fatalf("degenerate interval %+v", ci)
+	}
+	m := Mean(v)
+	if m < ci.Lo || m > ci.Hi {
+		t.Fatalf("sample mean %v outside its own CI %+v", m, ci)
+	}
+	// For N=200, σ=1 the 95 % CI half-width is ≈0.14; sanity band.
+	if w := ci.Hi - ci.Lo; w < 0.1 || w > 0.5 {
+		t.Fatalf("CI width %v implausible", w)
+	}
+	// Deterministic in seed.
+	ci2, _ := BootstrapMeanCI(v, 0.95, 2000, 7)
+	if ci != ci2 {
+		t.Fatal("bootstrap not deterministic in seed")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	if _, err := BootstrapMeanCI(nil, 0.95, 100, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 1.5, 100, 1); err == nil {
+		t.Error("bad confidence accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 0.95, 2, 1); err == nil {
+		t.Error("too few resamples accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Describe([]float64{1, 2, 3, 4, 5})
+	if d.N != 5 || d.Mean != 3 || d.Median != 3 || d.Min != 1 || d.Max != 5 {
+		t.Fatalf("Describe = %+v", d)
+	}
+	if z := Describe(nil); z.N != 0 {
+		t.Fatal("empty describe should be zero")
+	}
+}
+
+// Property: P0 ≤ median ≤ P100 and the mean lies within [min, max].
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		d := Describe(v)
+		return d.Min <= d.Median && d.Median <= d.Max &&
+			d.Min <= d.Mean && d.Mean <= d.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package thermal implements the compact thermal model that stands in for
+// the HotSpot tool [20]: an RC network over the chip floorplan with three
+// stacked layers per core — silicon die, heat spreader (including the TIM
+// bond) and heat sink — plus convection from every sink node to ambient.
+//
+// Lateral conductances couple neighbouring cores inside each layer, which
+// is what makes dark cores matter: a power-gated core is a low-power node
+// whose silicon still conducts, so it acts as a heat escape path for its
+// neighbours ("improved heat dissipation due to dark cores").
+//
+// Two solvers are provided:
+//
+//   - SteadyState: direct solve of G·T = P + G_amb·T_amb with a
+//     pre-factored LU (the matrix never changes), used for DCM evaluation
+//     and epoch-level profiles.
+//   - Transient: unconditionally stable implicit-Euler stepping of
+//     C·dT/dt = P − G·T with the step matrix factored once per Δt, used
+//     for the fine-grained intra-epoch simulation of Fig. 4.
+//
+// The network is linear, so superposition holds exactly — the property the
+// online thermal predictor (internal/thermpredict, [27]) exploits.
+package thermal
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/kit-ces/hayat/internal/floorplan"
+	"github.com/kit-ces/hayat/internal/numeric"
+)
+
+// Layer describes one conductive layer of the stack.
+type Layer struct {
+	// Conductivity is the thermal conductivity in W/(m·K).
+	Conductivity float64
+	// Thickness in metres.
+	Thickness float64
+	// VolumetricHeat is the volumetric heat capacity in J/(m³·K).
+	VolumetricHeat float64
+	// AreaScale widens the layer footprint per core relative to the core
+	// area (spreaders and sinks overhang the die).
+	AreaScale float64
+}
+
+// Config holds the physical parameters of the stack.
+type Config struct {
+	Die      Layer
+	Spreader Layer
+	Sink     Layer
+	// TIMThickness and TIMConductivity describe the thermal-interface
+	// material between die and spreader.
+	TIMThickness, TIMConductivity float64
+	// ConvectionResistance is the total sink-to-ambient resistance in K/W
+	// for the whole chip (distributed uniformly over sink nodes).
+	ConvectionResistance float64
+	// Ambient is the ambient temperature in Kelvin.
+	Ambient float64
+}
+
+// DefaultConfig returns a stack calibrated so the paper's ~165 W chip
+// (32 active cores) reaches the 325–345 K steady-state band of Fig. 2 with
+// 45 °C ambient.
+func DefaultConfig() Config {
+	return Config{
+		Die:                  Layer{Conductivity: 100, Thickness: 0.35e-3, VolumetricHeat: 1.75e6, AreaScale: 1.0},
+		Spreader:             Layer{Conductivity: 400, Thickness: 1.0e-3, VolumetricHeat: 3.4e6, AreaScale: 4.0},
+		Sink:                 Layer{Conductivity: 240, Thickness: 6.0e-3, VolumetricHeat: 2.4e6, AreaScale: 16.0},
+		TIMThickness:         20e-6,
+		TIMConductivity:      4,
+		ConvectionResistance: 0.055,
+		Ambient:              318.15, // 45 °C
+	}
+}
+
+// DenseNodeThreshold selects the linear-algebra backend: networks with at
+// most this many nodes use a dense LU factorisation (fastest for the
+// paper's 8×8 = 192-node network); larger networks switch to the sparse
+// conjugate-gradient path, which scales the solver to 32×32-core
+// floorplans and beyond.
+const DenseNodeThreshold = 800
+
+// Model is the assembled RC network for one floorplan.
+type Model struct {
+	fp  *floorplan.Floorplan
+	cfg Config
+
+	nCores int
+	nNodes int // 3 · nCores: die, spreader, sink
+
+	// tri holds the conductance matrix (including the ambient
+	// conductances on the diagonal) in assembly form:
+	// (G·T)_i = Σ_j g_ij (T_i − T_j) + gAmb_i (T_i − T_amb).
+	tri   *numeric.Triplets
+	gAmb  []float64
+	capac []float64
+
+	// Dense backend (small networks). LU solves are read-only on the
+	// factorisation and safe to share across goroutines.
+	luG *numeric.LU
+	// Sparse backend (large networks). The CG solver carries warm-start
+	// state, so concurrent solves serialise on cgMu.
+	cg   *numeric.CGSolver
+	cgMu sync.Mutex
+}
+
+// Node index helpers.
+func (m *Model) dieNode(core int) int      { return core }
+func (m *Model) spreaderNode(core int) int { return m.nCores + core }
+func (m *Model) sinkNode(core int) int     { return 2*m.nCores + core }
+
+// New assembles and factors the network. It returns an error if the
+// configuration is unphysical.
+func New(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
+	for name, l := range map[string]Layer{"die": cfg.Die, "spreader": cfg.Spreader, "sink": cfg.Sink} {
+		if l.Conductivity <= 0 || l.Thickness <= 0 || l.VolumetricHeat <= 0 || l.AreaScale <= 0 {
+			return nil, fmt.Errorf("thermal: invalid %s layer %+v", name, l)
+		}
+	}
+	if cfg.TIMThickness <= 0 || cfg.TIMConductivity <= 0 {
+		return nil, fmt.Errorf("thermal: invalid TIM (%v m, %v W/mK)", cfg.TIMThickness, cfg.TIMConductivity)
+	}
+	if cfg.ConvectionResistance <= 0 {
+		return nil, fmt.Errorf("thermal: ConvectionResistance must be positive, got %v", cfg.ConvectionResistance)
+	}
+	if cfg.Ambient <= 0 {
+		return nil, fmt.Errorf("thermal: Ambient must be positive, got %v", cfg.Ambient)
+	}
+	n := fp.N()
+	m := &Model{
+		fp: fp, cfg: cfg,
+		nCores: n, nNodes: 3 * n,
+		gAmb:  make([]float64, 3*n),
+		capac: make([]float64, 3*n),
+	}
+	m.tri = numeric.NewTriplets(m.nNodes)
+
+	coreArea := fp.CoreArea()
+	addCoupling := func(a, b int, g float64) {
+		m.tri.Add(a, a, g)
+		m.tri.Add(b, b, g)
+		m.tri.Add(a, b, -g)
+		m.tri.Add(b, a, -g)
+	}
+
+	// Vertical path per core.
+	for c := 0; c < n; c++ {
+		// die → spreader: half die + TIM + half spreader in series.
+		rDie := 0.5 * cfg.Die.Thickness / (cfg.Die.Conductivity * coreArea * cfg.Die.AreaScale)
+		rTIM := cfg.TIMThickness / (cfg.TIMConductivity * coreArea * cfg.Die.AreaScale)
+		rSpr := 0.5 * cfg.Spreader.Thickness / (cfg.Spreader.Conductivity * coreArea * cfg.Spreader.AreaScale)
+		addCoupling(m.dieNode(c), m.spreaderNode(c), 1/(rDie+rTIM+rSpr))
+
+		// spreader → sink: half spreader + half sink.
+		rSpr2 := 0.5 * cfg.Spreader.Thickness / (cfg.Spreader.Conductivity * coreArea * cfg.Spreader.AreaScale)
+		rSink := 0.5 * cfg.Sink.Thickness / (cfg.Sink.Conductivity * coreArea * cfg.Sink.AreaScale)
+		addCoupling(m.spreaderNode(c), m.sinkNode(c), 1/(rSpr2+rSink))
+
+		// sink → ambient (convection, distributed).
+		m.gAmb[m.sinkNode(c)] = 1 / (cfg.ConvectionResistance * float64(n))
+	}
+
+	// Lateral couplings inside each layer between 4-neighbours.
+	lateral := func(layer Layer, nodeOf func(int) int) {
+		for c := 0; c < n; c++ {
+			for _, nb := range m.fp.Neighbors(nil, c) {
+				if nb <= c {
+					continue // add each pair once
+				}
+				rc := c / m.fp.Cols
+				rn := nb / m.fp.Cols
+				var crossLen, dist float64
+				if rc == rn { // horizontal neighbours share a vertical edge
+					crossLen = m.fp.CoreHeight
+					dist = m.fp.CoreWidth
+				} else {
+					crossLen = m.fp.CoreWidth
+					dist = m.fp.CoreHeight
+				}
+				area := crossLen * layer.Thickness * layer.AreaScale
+				g := layer.Conductivity * area / dist
+				addCoupling(nodeOf(c), nodeOf(nb), g)
+			}
+		}
+	}
+	lateral(cfg.Die, m.dieNode)
+	lateral(cfg.Spreader, m.spreaderNode)
+	lateral(cfg.Sink, m.sinkNode)
+
+	// Fold ambient conductances into the diagonal and set capacitances.
+	for i := 0; i < m.nNodes; i++ {
+		m.tri.Add(i, i, m.gAmb[i])
+	}
+	for c := 0; c < n; c++ {
+		m.capac[m.dieNode(c)] = cfg.Die.VolumetricHeat * coreArea * cfg.Die.AreaScale * cfg.Die.Thickness
+		m.capac[m.spreaderNode(c)] = cfg.Spreader.VolumetricHeat * coreArea * cfg.Spreader.AreaScale * cfg.Spreader.Thickness
+		m.capac[m.sinkNode(c)] = cfg.Sink.VolumetricHeat * coreArea * cfg.Sink.AreaScale * cfg.Sink.Thickness
+	}
+
+	if m.nNodes <= DenseNodeThreshold {
+		lu, err := numeric.FactorLU(m.tri.ToDense())
+		if err != nil {
+			return nil, fmt.Errorf("thermal: conductance matrix singular: %w", err)
+		}
+		m.luG = lu
+	} else {
+		cg, err := numeric.NewCGSolver(m.tri.ToCSR(), 1e-10, 20*m.nNodes)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: sparse solver: %w", err)
+		}
+		m.cg = cg
+	}
+	return m, nil
+}
+
+// solveSteady dispatches to the active backend. It is safe for
+// concurrent use: the dense path only reads the factorisation, and the
+// sparse path serialises on the solver's warm-start state.
+func (m *Model) solveSteady(dst, rhs []float64) {
+	if m.luG != nil {
+		m.luG.Solve(dst, rhs)
+		return
+	}
+	m.cgMu.Lock()
+	defer m.cgMu.Unlock()
+	if _, ok := m.cg.Solve(dst, rhs); !ok {
+		// The conductance matrix is SPD and well conditioned; failure
+		// here indicates a programming error, not a numerical edge.
+		panic("thermal: CG did not converge on the steady-state system")
+	}
+}
+
+// Floorplan returns the floorplan the model was built on.
+func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
+
+// Config returns the physical configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Ambient returns the ambient temperature in Kelvin.
+func (m *Model) Ambient() float64 { return m.cfg.Ambient }
+
+// NumNodes returns the total RC node count (3 per core).
+func (m *Model) NumNodes() int { return m.nNodes }
+
+// SteadyState solves the static network for the given per-core power
+// vector (Watts into each die node) and returns the per-core die
+// temperatures in Kelvin. The full node state is written into nodeTemps
+// when non-nil (length NumNodes). Safe for concurrent use.
+func (m *Model) SteadyState(corePower []float64, nodeTemps []float64) []float64 {
+	if len(corePower) != m.nCores {
+		panic("thermal: SteadyState power vector length mismatch")
+	}
+	rhs := make([]float64, m.nNodes)
+	for i := range rhs {
+		rhs[i] = m.gAmb[i] * m.cfg.Ambient
+	}
+	for c, p := range corePower {
+		rhs[m.dieNode(c)] += p
+	}
+	sol := make([]float64, m.nNodes)
+	m.solveSteady(sol, rhs)
+	if nodeTemps != nil {
+		copy(nodeTemps, sol)
+	}
+	return sol[:m.nCores]
+}
+
+// HeatOutflow returns the total heat flowing to ambient (Watts) for a full
+// node-temperature state — equal to the injected power in steady state
+// (energy conservation).
+func (m *Model) HeatOutflow(nodeTemps []float64) float64 {
+	q := 0.0
+	for i, g := range m.gAmb {
+		if g != 0 {
+			q += g * (nodeTemps[i] - m.cfg.Ambient)
+		}
+	}
+	return q
+}
+
+// Transient is an implicit-Euler integrator over the network with a fixed
+// time step. The step matrix (C/Δt + G) is factored once at construction.
+type Transient struct {
+	m     *Model
+	dt    float64
+	lu    *numeric.LU       // dense backend
+	cg    *numeric.CGSolver // sparse backend
+	state []float64         // node temperatures
+	rhs   []float64
+}
+
+// NewTransient creates an integrator with time step dt seconds, starting
+// from a uniform ambient-temperature state.
+func (m *Model) NewTransient(dt float64) (*Transient, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: time step must be positive, got %v", dt)
+	}
+	step := numeric.NewTriplets(m.nNodes)
+	for key, v := range m.tri.Keys() {
+		step.Add(key[0], key[1], v)
+	}
+	for i := 0; i < m.nNodes; i++ {
+		step.Add(i, i, m.capac[i]/dt)
+	}
+	tr := &Transient{
+		m: m, dt: dt,
+		state: make([]float64, m.nNodes),
+		rhs:   make([]float64, m.nNodes),
+	}
+	if m.nNodes <= DenseNodeThreshold {
+		lu, err := numeric.FactorLU(step.ToDense())
+		if err != nil {
+			return nil, fmt.Errorf("thermal: step matrix singular: %w", err)
+		}
+		tr.lu = lu
+	} else {
+		cg, err := numeric.NewCGSolver(step.ToCSR(), 1e-10, 20*m.nNodes)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: sparse step solver: %w", err)
+		}
+		tr.cg = cg
+	}
+	numeric.Fill(tr.state, m.cfg.Ambient)
+	return tr, nil
+}
+
+// Dt returns the integrator's time step in seconds.
+func (tr *Transient) Dt() float64 { return tr.dt }
+
+// SetState overwrites the full node state (length NumNodes), e.g. with a
+// steady-state solution to skip the warm-up transient.
+func (tr *Transient) SetState(nodeTemps []float64) {
+	if len(nodeTemps) != tr.m.nNodes {
+		panic("thermal: SetState length mismatch")
+	}
+	copy(tr.state, nodeTemps)
+}
+
+// State returns the current full node state (a view; copy before mutating).
+func (tr *Transient) State() []float64 { return tr.state }
+
+// CoreTemps copies the current die temperatures into dst (length nCores,
+// allocated when nil) and returns it.
+func (tr *Transient) CoreTemps(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, tr.m.nCores)
+	}
+	copy(dst, tr.state[:tr.m.nCores])
+	return dst
+}
+
+// Step advances one time step with the given per-core power vector
+// (constant across the step): (C/Δt + G)·T⁺ = C/Δt·T + P + G_amb·T_amb.
+func (tr *Transient) Step(corePower []float64) {
+	m := tr.m
+	if len(corePower) != m.nCores {
+		panic("thermal: Step power vector length mismatch")
+	}
+	for i := range tr.rhs {
+		tr.rhs[i] = m.capac[i]/tr.dt*tr.state[i] + m.gAmb[i]*m.cfg.Ambient
+	}
+	for c, p := range corePower {
+		tr.rhs[m.dieNode(c)] += p
+	}
+	if tr.lu != nil {
+		tr.lu.Solve(tr.state, tr.rhs)
+		return
+	}
+	if _, ok := tr.cg.Solve(tr.state, tr.rhs); !ok {
+		panic("thermal: CG did not converge on the transient step")
+	}
+}

@@ -1,0 +1,78 @@
+package thermpredict
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLearnCompactKernelShape(t *testing.T) {
+	fx := newFixture(t)
+	cp, err := LearnCompact(fx.tm, fx.pm, fx.chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8×8 grid: Manhattan diameter 14 → 15 bins.
+	if cp.KernelSize() != 15 {
+		t.Fatalf("kernel size %d, want 15", cp.KernelSize())
+	}
+	// The kernel must decay monotonically with distance and stay positive.
+	prev := cp.Kernel(0)
+	for d := 1; d < cp.KernelSize(); d++ {
+		k := cp.Kernel(d)
+		if k <= 0 {
+			t.Fatalf("kernel[%d] = %v", d, k)
+		}
+		if k > prev {
+			t.Fatalf("kernel not decaying at distance %d: %v > %v", d, k, prev)
+		}
+		prev = k
+	}
+	// Out-of-range distances clamp.
+	if cp.Kernel(99) != cp.Kernel(cp.KernelSize()-1) || cp.Kernel(-1) != cp.Kernel(0) {
+		t.Fatal("kernel clamping broken")
+	}
+}
+
+func TestCompactTracksExactWithinBand(t *testing.T) {
+	fx := newFixture(t)
+	cp, err := LearnCompact(fx.tm, fx.pm, fx.chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	n := fx.fp.N()
+	pdyn := make([]float64, n)
+	on := make([]bool, n)
+	for i := range pdyn {
+		on[i] = rng.Intn(2) == 0
+		if on[i] {
+			pdyn[i] = 2 + 4*rng.Float64()
+		}
+	}
+	err2 := cp.AccuracyVs(fx.pred, pdyn, on)
+	// The radial approximation ignores edge effects: worst-case error of
+	// a few Kelvin on the 8×8 chip is expected; more would make the
+	// compact variant useless for T_safe admission.
+	if err2 > 5.0 {
+		t.Fatalf("compact predictor off by %v K", err2)
+	}
+	if err2 == 0 {
+		t.Fatal("suspiciously exact — approximation not exercised")
+	}
+}
+
+func TestCompactZeroLoadIsAmbientIshWithLeakage(t *testing.T) {
+	fx := newFixture(t)
+	cp, err := LearnCompact(fx.tm, fx.pm, fx.chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.fp.N()
+	temps := cp.Predict(nil, make([]float64, n), make([]bool, n))
+	for i, T := range temps {
+		// Dark chip: only gated leakage (tiny) above ambient.
+		if T < fx.tm.Ambient()-0.01 || T > fx.tm.Ambient()+1.0 {
+			t.Fatalf("core %d at %v on a dark chip", i, T)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadProfileTSV: arbitrary input must be cleanly accepted or
+// rejected; accepted profiles must validate and round-trip.
+func FuzzReadProfileTSV(f *testing.F) {
+	f.Add("# profile x minthreads 1 maxthreads 4 minfreq_ghz 2\n0.5 0.9 0.8 1.5\n")
+	f.Add("garbage\n")
+	f.Add("# profile y minthreads 2 maxthreads 2 minfreq_ghz 1.5\n1 1 1 1\n2 0 0 0.5\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ReadProfileTSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted profile fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteProfileTSV(&buf, p); err != nil {
+			t.Fatalf("accepted profile fails to serialise: %v", err)
+		}
+		p2, err := ReadProfileTSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if p2.Name != p.Name || len(p2.Phases) != len(p.Phases) {
+			t.Fatal("round-trip changed the profile")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file imports and exports application profiles as TSV so users can
+// plug externally derived phase traces (e.g. reduced from real gem5 or
+// perf-counter runs) into the simulator instead of the built-in synthetic
+// Parsec set.
+//
+// Format (tab- or space-separated):
+//
+//	# profile <name> minthreads <k> maxthreads <k> minfreq_ghz <f>
+//	# duration_s activity duty ipc
+//	0.8  0.95  0.85  1.6
+//	0.4  0.55  0.50  1.1
+//
+// The first directive line carries the metadata; subsequent non-comment
+// lines are phases in order.
+
+// WriteProfileTSV serialises a profile in the format ReadProfileTSV
+// accepts.
+func WriteProfileTSV(w io.Writer, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# profile %s minthreads %d maxthreads %d minfreq_ghz %g\n",
+		p.Name, p.MinThreads, p.MaxThreads, p.MinFreq/1e9)
+	fmt.Fprintf(bw, "# duration_s activity duty ipc\n")
+	for _, ph := range p.Phases {
+		fmt.Fprintf(bw, "%g\t%g\t%g\t%g\n", ph.Duration, ph.Activity, ph.Duty, ph.IPC)
+	}
+	return bw.Flush()
+}
+
+// ReadProfileTSV parses one profile document.
+func ReadProfileTSV(r io.Reader) (Profile, error) {
+	var p Profile
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) > 0 && fields[0] == "profile" {
+				if sawHeader {
+					return Profile{}, fmt.Errorf("workload: line %d: duplicate profile directive", lineNo)
+				}
+				if err := parseProfileDirective(fields, &p); err != nil {
+					return Profile{}, fmt.Errorf("workload: line %d: %w", lineNo, err)
+				}
+				sawHeader = true
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return Profile{}, fmt.Errorf("workload: line %d: phase needs 4 fields, got %d", lineNo, len(fields))
+		}
+		vals := make([]float64, 4)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("workload: line %d field %d: %w", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		p.Phases = append(p.Phases, Phase{Duration: vals[0], Activity: vals[1], Duty: vals[2], IPC: vals[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return Profile{}, err
+	}
+	if !sawHeader {
+		return Profile{}, fmt.Errorf("workload: missing '# profile …' directive")
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// parseProfileDirective parses "profile <name> key value …".
+func parseProfileDirective(fields []string, p *Profile) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("profile directive needs a name")
+	}
+	p.Name = fields[1]
+	kv := fields[2:]
+	if len(kv)%2 != 0 {
+		return fmt.Errorf("profile directive has a dangling key")
+	}
+	for i := 0; i < len(kv); i += 2 {
+		key, val := kv[i], kv[i+1]
+		switch key {
+		case "minthreads":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("minthreads: %w", err)
+			}
+			p.MinThreads = n
+		case "maxthreads":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("maxthreads: %w", err)
+			}
+			p.MaxThreads = n
+		case "minfreq_ghz":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("minfreq_ghz: %w", err)
+			}
+			p.MinFreq = f * 1e9
+		default:
+			return fmt.Errorf("unknown profile key %q", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileTSVRoundTrip(t *testing.T) {
+	for _, p := range Parsec() {
+		var buf bytes.Buffer
+		if err := WriteProfileTSV(&buf, p); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		got, err := ReadProfileTSV(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got.Name != p.Name || got.MinThreads != p.MinThreads ||
+			got.MaxThreads != p.MaxThreads || got.MinFreq != p.MinFreq {
+			t.Fatalf("%s: metadata mismatch: %+v", p.Name, got)
+		}
+		if len(got.Phases) != len(p.Phases) {
+			t.Fatalf("%s: %d phases, want %d", p.Name, len(got.Phases), len(p.Phases))
+		}
+		for i := range got.Phases {
+			if got.Phases[i] != p.Phases[i] {
+				t.Fatalf("%s phase %d: %+v vs %+v", p.Name, i, got.Phases[i], p.Phases[i])
+			}
+		}
+	}
+}
+
+func TestReadProfileTSVHandWritten(t *testing.T) {
+	src := `
+# profile mytrace minthreads 2 maxthreads 8 minfreq_ghz 2.4
+# duration_s activity duty ipc
+0.5  0.9  0.8  1.5
+1.0  0.4  0.3  0.7
+`
+	p, err := ReadProfileTSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mytrace" || p.MinThreads != 2 || p.MaxThreads != 8 || p.MinFreq != 2.4e9 {
+		t.Fatalf("metadata: %+v", p)
+	}
+	if len(p.Phases) != 2 || p.Phases[1].IPC != 0.7 {
+		t.Fatalf("phases: %+v", p.Phases)
+	}
+	// And it is immediately usable as an application.
+	app, err := NewApp(p, 0, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Threads) != 4 {
+		t.Fatalf("threads: %d", len(app.Threads))
+	}
+}
+
+func TestReadProfileTSVRejections(t *testing.T) {
+	cases := map[string]string{
+		"no header":       "0.5 0.9 0.8 1.5\n",
+		"bad field count": "# profile x minthreads 1 maxthreads 2 minfreq_ghz 2\n0.5 0.9 0.8\n",
+		"bad number":      "# profile x minthreads 1 maxthreads 2 minfreq_ghz 2\n0.5 0.9 zz 1.5\n",
+		"dangling key":    "# profile x minthreads\n0.5 0.9 0.8 1.5\n",
+		"unknown key":     "# profile x magic 3\n0.5 0.9 0.8 1.5\n",
+		"bad minthreads":  "# profile x minthreads abc maxthreads 2 minfreq_ghz 2\n0.5 0.9 0.8 1.5\n",
+		"no name":         "# profile\n0.5 0.9 0.8 1.5\n",
+		"invalid profile": "# profile x minthreads 4 maxthreads 2 minfreq_ghz 2\n0.5 0.9 0.8 1.5\n",
+		"no phases":       "# profile x minthreads 1 maxthreads 2 minfreq_ghz 2\n",
+		"double header":   "# profile x minthreads 1 maxthreads 2 minfreq_ghz 2\n# profile y minthreads 1 maxthreads 2 minfreq_ghz 2\n0.5 0.9 0.8 1.5\n",
+		"range violation": "# profile x minthreads 1 maxthreads 2 minfreq_ghz 2\n0.5 1.9 0.8 1.5\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadProfileTSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteProfileTSVRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfileTSV(&buf, Profile{Name: "bad"}); err == nil {
+		t.Fatal("invalid profile serialised")
+	}
+}

@@ -1,0 +1,139 @@
+package hayat
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"github.com/kit-ces/hayat/internal/metrics"
+	"github.com/kit-ces/hayat/internal/persist"
+	"github.com/kit-ces/hayat/internal/sim"
+)
+
+// PopulationResult aggregates one policy's lifetime results over a chip
+// population — the "25 different chips" of Figs. 7–11.
+type PopulationResult struct {
+	Policy       string
+	DarkFraction float64
+	Chips        int
+	Results      []*LifetimeResult
+
+	// TotalDTMEvents across the population (Fig. 7's quantity).
+	TotalDTMEvents int
+	// MeanTempOverAmbient is the population mean lifetime-average
+	// temperature rise over ambient in Kelvin (Fig. 8).
+	MeanTempOverAmbient float64
+	// ChipFMaxAging is the mean degradation of the single fastest core's
+	// frequency in Hz over the lifetime (Fig. 9).
+	ChipFMaxAging float64
+	// AvgFMaxAging is the mean degradation of the chip-average frequency
+	// in Hz over the lifetime (Fig. 10).
+	AvgFMaxAging float64
+	// Years/AvgFMaxSeries trace the population-average frequency over the
+	// lifetime (Fig. 11 right).
+	Years         []float64
+	AvgFMaxSeries []float64
+
+	summary metrics.Summary
+}
+
+// RunPopulation simulates `chips` dies (seeds baseSeed, baseSeed+1, …)
+// under the given policy and aggregates the results. Chips are
+// independent, so they run on parallel workers (up to GOMAXPROCS); the
+// aggregated result is deterministic regardless of scheduling because
+// results are collected in seed order.
+func (s *System) RunPopulation(baseSeed int64, chips int, p Policy) (*PopulationResult, error) {
+	if chips <= 0 {
+		return nil, fmt.Errorf("hayat: population size must be positive, got %d", chips)
+	}
+	pr := &PopulationResult{Policy: p.String(), DarkFraction: s.cfg.DarkFraction, Chips: chips}
+
+	results := make([]*LifetimeResult, chips)
+	errs := make([]error, chips)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > chips {
+		workers = chips
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				chip, err := s.NewChip(baseSeed + int64(i))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = chip.RunLifetime(p)
+			}
+		}()
+	}
+	for i := 0; i < chips; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var raw []*sim.Result
+	for i := 0; i < chips; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		pr.Results = append(pr.Results, results[i])
+		raw = append(raw, results[i].res)
+	}
+	sum, err := metrics.Summarize(raw, s.Ambient(), 21)
+	if err != nil {
+		return nil, err
+	}
+	pr.summary = sum
+	pr.TotalDTMEvents = sum.TotalDTMEvents
+	pr.MeanTempOverAmbient = sum.MeanTempOverAmbient
+	pr.ChipFMaxAging = sum.ChipFMaxAgingRate
+	pr.AvgFMaxAging = sum.AvgFMaxAgingRate
+	pr.Years = append([]float64(nil), sum.Years...)
+	pr.AvgFMaxSeries = append([]float64(nil), sum.AvgFMaxSeries...)
+	return pr, nil
+}
+
+// Comparison holds Hayat-vs-baseline ratios; values below 1 favour Hayat
+// (these are the normalised bars of Figs. 7–10).
+type Comparison struct {
+	DarkFraction         float64
+	DTMEventsRatio       float64
+	TempOverAmbientRatio float64
+	ChipFMaxAgingRatio   float64
+	AvgFMaxAgingRatio    float64
+}
+
+// Compare normalises a Hayat population against its VAA counterpart.
+func Compare(hayatRes, vaaRes *PopulationResult) (Comparison, error) {
+	c, err := metrics.Compare(hayatRes.summary, vaaRes.summary)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		DarkFraction:         c.DarkFraction,
+		DTMEventsRatio:       c.DTMEventsRatio,
+		TempOverAmbientRatio: c.TempOverAmbientRatio,
+		ChipFMaxAgingRatio:   c.ChipFMaxAgingRatio,
+		AvgFMaxAgingRatio:    c.AvgFMaxAgingRatio,
+	}, nil
+}
+
+// LifetimeExtension computes Fig. 11's headline number: by how many years
+// the candidate population outlives the baseline at a required lifetime —
+// the baseline's average frequency after requiredYears defines end-of-life,
+// and the returned extension is how much later the candidate reaches it.
+func LifetimeExtension(candidate, baselineRes *PopulationResult, requiredYears float64) (extensionYears, thresholdHz float64) {
+	return metrics.LifetimeExtension(candidate.summary, baselineRes.summary, requiredYears)
+}
+
+// WriteJSON serialises the full lifetime result (per-core arrays and every
+// epoch record) as indented JSON.
+func (r *LifetimeResult) WriteJSON(w io.Writer) error {
+	return persist.SaveResult(w, r.res)
+}
