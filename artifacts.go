@@ -1,0 +1,160 @@
+package hayat
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/kit-ces/hayat/internal/aging"
+	"github.com/kit-ces/hayat/internal/floorplan"
+	"github.com/kit-ces/hayat/internal/thermal"
+	"github.com/kit-ces/hayat/internal/thermpredict"
+	"github.com/kit-ces/hayat/internal/variation"
+)
+
+// ArtifactCache shares the expensive per-platform and per-chip artifacts
+// across Systems and Chips: the thermal model's LU factorisation and the
+// variation field's Cholesky factor (keyed by grid size), the learned
+// thermal predictor (keyed by grid size and chip seed) and the offline 3D
+// aging table (keyed by aging model and chip seed). All cached artifacts
+// are immutable after construction and safe for concurrent use; identical
+// concurrent requests coalesce onto one build (singleflight). A nil
+// *ArtifactCache is valid and disables sharing.
+type ArtifactCache struct {
+	mu        sync.Mutex
+	platforms map[gridKey]*cacheEntry[*platform]
+	preds     map[predKey]*cacheEntry[*thermpredict.Predictor]
+	tabs      map[tabKey]*cacheEntry[*aging.Table3D]
+
+	hits, misses atomic.Int64
+}
+
+// NewArtifactCache returns an empty cache. The zero value is also ready
+// to use.
+func NewArtifactCache() *ArtifactCache { return &ArtifactCache{} }
+
+// ArtifactStats counts cache outcomes: a hit is a lookup that found an
+// existing (possibly still-building) entry, a miss triggered a build.
+type ArtifactStats struct {
+	Hits, Misses int64
+	Platforms    int
+	Predictors   int
+	AgingTables  int
+}
+
+// Stats snapshots the cache counters.
+func (c *ArtifactCache) Stats() ArtifactStats {
+	if c == nil {
+		return ArtifactStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ArtifactStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Platforms:   len(c.platforms),
+		Predictors:  len(c.preds),
+		AgingTables: len(c.tabs),
+	}
+}
+
+type gridKey struct{ rows, cols int }
+
+type predKey struct {
+	rows, cols int
+	seed       int64
+}
+
+type tabKey struct {
+	model string
+	seed  int64
+}
+
+// platform bundles the chip-independent models a System is built from.
+type platform struct {
+	fp  *floorplan.Floorplan
+	tm  *thermal.Model
+	gen *variation.Generator
+}
+
+// cacheEntry is a singleflight slot: the first caller builds under the
+// sync.Once, later callers block on it and share the outcome.
+type cacheEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (e *cacheEntry[T]) get(build func() (T, error)) (T, error) {
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// lookup returns the entry for key in *m, creating map and entry when
+// absent, and bumps the hit/miss counters. Callers must not hold c.mu.
+func lookup[K comparable, T any](c *ArtifactCache, m *map[K]*cacheEntry[T], key K) *cacheEntry[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if *m == nil {
+		*m = make(map[K]*cacheEntry[T])
+	}
+	e, ok := (*m)[key]
+	if !ok {
+		e = &cacheEntry[T]{}
+		(*m)[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e
+}
+
+// buildPlatform assembles the chip-independent models for a grid.
+func buildPlatform(rows, cols int) (*platform, error) {
+	fp := floorplan.New(rows, cols)
+	fp.CoreWidth = floorplan.DefaultCoreWidth
+	fp.CoreHeight = floorplan.DefaultCoreHeight
+	tm, err := thermal.New(fp, thermal.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	gen, err := variation.NewGenerator(variation.DefaultModel(), fp)
+	if err != nil {
+		return nil, err
+	}
+	return &platform{fp: fp, tm: tm, gen: gen}, nil
+}
+
+// platform returns the shared platform for a grid, building it on first
+// use. Safe on a nil cache.
+func (c *ArtifactCache) platform(rows, cols int) (*platform, error) {
+	if c == nil {
+		return buildPlatform(rows, cols)
+	}
+	e := lookup(c, &c.platforms, gridKey{rows, cols})
+	return e.get(func() (*platform, error) { return buildPlatform(rows, cols) })
+}
+
+// predictor returns the learned thermal predictor for (grid, seed).
+func (c *ArtifactCache) predictor(s *System, chip *variation.Chip) (*thermpredict.Predictor, error) {
+	build := func() (*thermpredict.Predictor, error) {
+		return thermpredict.Learn(s.tm, s.pm, chip)
+	}
+	if c == nil {
+		return build()
+	}
+	e := lookup(c, &c.preds, predKey{s.fp.Rows, s.fp.Cols, chip.Seed})
+	return e.get(build)
+}
+
+// table returns the offline 3D aging table for (aging model, seed).
+func (c *ArtifactCache) table(model string, seed int64, ca aging.FactorModel) (*aging.Table3D, error) {
+	build := func() (*aging.Table3D, error) { return aging.DefaultTable(ca), nil }
+	if c == nil {
+		return build()
+	}
+	if model == "" {
+		model = "nbti"
+	}
+	e := lookup(c, &c.tabs, tabKey{model, seed})
+	return e.get(build)
+}

@@ -1,0 +1,81 @@
+// Command hayatd serves the Hayat lifetime-simulation engine over
+// HTTP/JSON: submit single-chip or population jobs, poll them, cancel
+// them, and read metrics. Identical requests coalesce onto one
+// computation and finished results are served from a content-addressed
+// cache (optionally persisted with -data).
+//
+// Usage:
+//
+//	hayatd [-addr :8080] [-workers N] [-queue N] [-data DIR] [-drain 30s]
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
+// jobs for the -drain grace period, then cancels the rest at their next
+// epoch boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/kit-ces/hayat/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		queue   = flag.Int("queue", 64, "bounded job-queue depth")
+		data    = flag.String("data", "", "directory for persisted results (empty: memory only)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
+	)
+	flag.Parse()
+	log.SetPrefix("hayatd: ")
+	log.SetFlags(log.LstdFlags)
+
+	srv, err := service.New(service.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		DataDir:    *data,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining for up to %v", *drain)
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("drain: %v", err)
+	}
+	m := srv.Metrics().Snapshot()
+	log.Printf("done: %d done, %d failed, %d cancelled, cache %d hits / %d misses",
+		m.Jobs.Done, m.Jobs.Failed, m.Jobs.Cancelled, m.Cache.Hits, m.Cache.Misses)
+}

@@ -1,0 +1,185 @@
+// serveclient drives hayatd the way a remote client would: it starts the
+// lifetime-simulation service in-process on a random port, submits one
+// population job per policy over HTTP/JSON, polls each job's per-seed
+// progress, and computes the paper's Fig. 11 headline — the lifetime
+// extension Hayat buys over the variability-agnostic baseline — purely
+// from the JSON the service returns. It then repeats one request to show
+// the content-addressed cache answering without re-simulating.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/kit-ces/hayat/internal/service"
+)
+
+// populationRecord is the slice of the service's population JSON this
+// client needs: the average-frequency-over-lifetime series.
+type populationRecord struct {
+	Policy        string    `json:"policy"`
+	Chips         int       `json:"chips"`
+	Years         []float64 `json:"years"`
+	AvgFMaxSeries []float64 `json:"avg_fmax_series_hz"`
+}
+
+type jobStatus struct {
+	ID       string `json:"job_id"`
+	State    string `json:"state"`
+	Cached   bool   `json:"cached"`
+	Error    string `json:"error"`
+	Progress *struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	} `json:"progress"`
+	Result json.RawMessage `json:"result"`
+}
+
+func main() {
+	rows := flag.Int("rows", 4, "core grid rows")
+	cols := flag.Int("cols", 4, "core grid cols")
+	years := flag.Float64("years", 7, "simulated lifetime in years")
+	chips := flag.Int("chips", 3, "population size per policy")
+	required := flag.Float64("required", 5, "required lifetime in years (Fig. 11 x-axis)")
+	flag.Parse()
+
+	// Start hayatd in-process on a random loopback port.
+	svc, err := service.New(service.Options{Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("hayatd listening on %s\n\n", base)
+
+	cfgJSON := fmt.Sprintf(`{"Rows":%d,"Cols":%d,"Years":%g,"WindowSeconds":1,"MixApps":2}`,
+		*rows, *cols, *years)
+
+	records := map[string]populationRecord{}
+	for _, policy := range []string{"vaa", "hayat"} {
+		st := submitPopulation(base, cfgJSON, policy, *chips)
+		fmt.Printf("[%s] submitted %s (%d chips)\n", policy, st.ID, *chips)
+		st = pollToCompletion(base, st.ID, policy)
+		var rec populationRecord
+		if err := json.Unmarshal(st.Result, &rec); err != nil {
+			log.Fatalf("[%s] decoding result: %v", policy, err)
+		}
+		records[policy] = rec
+	}
+
+	// Fig. 11, computed client-side: the baseline's average frequency at
+	// the required lifetime defines end-of-life; the extension is how much
+	// later Hayat's population reaches that frequency.
+	base0 := records["vaa"]
+	cand := records["hayat"]
+	threshold := interp(base0.Years, base0.AvgFMaxSeries, *required)
+	crossing, capped := crossingYear(cand.Years, cand.AvgFMaxSeries, threshold)
+	ext := crossing - *required
+	fmt.Printf("\nFig. 11 @ required lifetime %.1f yr:\n", *required)
+	fmt.Printf("  end-of-life threshold (%s avg fmax at %.1f yr): %.3f GHz\n",
+		base0.Policy, *required, threshold/1e9)
+	atLeast := ""
+	if capped {
+		atLeast = "≥ " // Hayat never dropped to the threshold inside the horizon
+	}
+	fmt.Printf("  Hayat lifetime extension: %s%+.2f years\n", atLeast, ext)
+
+	// A repeated identical request is answered from the cache.
+	again := submitPopulation(base, cfgJSON, "hayat", *chips)
+	fmt.Printf("\nresubmitted the Hayat job: state=%s cached=%v (no re-simulation)\n",
+		again.State, again.Cached)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	_ = svc.Shutdown(ctx)
+}
+
+func submitPopulation(base, cfgJSON, policy string, chips int) jobStatus {
+	body := fmt.Sprintf(`{"config":%s,"base_seed":1,"chips":%d,"policy":%q}`, cfgJSON, chips, policy)
+	resp, err := http.Post(base+"/v1/population", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		log.Fatalf("submit %s: HTTP %d: %s", policy, resp.StatusCode, st.Error)
+	}
+	return st
+}
+
+func pollToCompletion(base, id, policy string) jobStatus {
+	lastDone := -1
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st jobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Progress != nil && st.Progress.Done != lastDone {
+			lastDone = st.Progress.Done
+			fmt.Printf("[%s] %s: %d/%d chips done\n", policy, st.State, st.Progress.Done, st.Progress.Total)
+		}
+		switch st.State {
+		case "done":
+			return st
+		case "failed", "cancelled":
+			log.Fatalf("[%s] job %s %s: %s", policy, id, st.State, st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// interp linearly interpolates series(x) with flat extrapolation at the
+// ends.
+func interp(xs, ys []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			t := (x - xs[i-1]) / (xs[i] - xs[i-1])
+			return ys[i-1] + t*(ys[i]-ys[i-1])
+		}
+	}
+	return ys[len(ys)-1]
+}
+
+// crossingYear finds when a monotonically decaying series first drops to
+// the threshold; capped reports that it never did within the horizon (the
+// crossing is then the horizon itself, a lower bound).
+func crossingYear(xs, ys []float64, threshold float64) (year float64, capped bool) {
+	for i, y := range ys {
+		if y <= threshold {
+			if i == 0 || ys[i-1] == y {
+				return xs[i], false
+			}
+			t := (ys[i-1] - threshold) / (ys[i-1] - y)
+			return xs[i-1] + t*(xs[i]-xs[i-1]), false
+		}
+	}
+	return xs[len(xs)-1], true
+}

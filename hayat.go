@@ -23,8 +23,10 @@
 package hayat
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"github.com/kit-ces/hayat/internal/aging"
 	"github.com/kit-ces/hayat/internal/baseline"
@@ -63,6 +65,19 @@ func (p Policy) String() string {
 		return "VAA"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a case-insensitive policy name ("hayat", "vaa") to its
+// Policy value.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "hayat":
+		return PolicyHayat, nil
+	case "vaa":
+		return PolicyVAA, nil
+	default:
+		return 0, fmt.Errorf("hayat: unknown policy %q", s)
 	}
 }
 
@@ -178,43 +193,56 @@ func (c Config) simConfig() sim.Config {
 	return sc
 }
 
+// Validate reports configuration errors without building any platform
+// model (the same checks NewSystem performs before its expensive setup).
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("hayat: invalid grid %d×%d", c.Rows, c.Cols)
+	}
+	if _, err := c.dutyMode(); err != nil {
+		return err
+	}
+	if _, err := c.agingModel(0); err != nil {
+		return err
+	}
+	return c.simConfig().Validate()
+}
+
 // System is the simulated platform: floorplan, thermal stack, power model
 // and variation generator. One System can stamp out many chips.
 type System struct {
-	cfg Config
-	fp  *floorplan.Floorplan
-	tm  *thermal.Model
-	pm  power.Model
-	gen *variation.Generator
+	cfg  Config
+	fp   *floorplan.Floorplan
+	tm   *thermal.Model
+	pm   power.Model
+	gen  *variation.Generator
+	arts *ArtifactCache
 }
 
 // NewSystem validates the configuration and assembles the platform
 // models.
 func NewSystem(cfg Config) (*System, error) {
-	if cfg.Rows <= 0 || cfg.Cols <= 0 {
-		return nil, fmt.Errorf("hayat: invalid grid %d×%d", cfg.Rows, cfg.Cols)
-	}
-	if _, err := cfg.dutyMode(); err != nil {
+	return NewSystemWith(cfg, nil)
+}
+
+// NewSystemWith is NewSystem with a shared artifact cache: the thermal
+// model (with its LU factorisation) and the variation generator (with its
+// Cholesky factor) are reused across Systems on the same grid, and chips
+// stamped from this System share their learned predictors and 3D aging
+// tables through the cache as well. A nil cache disables sharing. All
+// Systems passing the same cache must use the default platform models
+// (they do: thermal config, core dimensions and the variation model are
+// fixed by this package), since cache keys only carry grid size, seed and
+// aging model.
+func NewSystemWith(cfg Config, cache *ArtifactCache) (*System, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if _, err := cfg.agingModel(0); err != nil {
-		return nil, err
-	}
-	if err := cfg.simConfig().Validate(); err != nil {
-		return nil, err
-	}
-	fp := floorplan.New(cfg.Rows, cfg.Cols)
-	fp.CoreWidth = floorplan.DefaultCoreWidth
-	fp.CoreHeight = floorplan.DefaultCoreHeight
-	tm, err := thermal.New(fp, thermal.DefaultConfig())
+	pf, err := cache.platform(cfg.Rows, cfg.Cols)
 	if err != nil {
 		return nil, err
 	}
-	gen, err := variation.NewGenerator(variation.DefaultModel(), fp)
-	if err != nil {
-		return nil, err
-	}
-	return &System{cfg: cfg, fp: fp, tm: tm, pm: power.DefaultModel(), gen: gen}, nil
+	return &System{cfg: cfg, fp: pf.fp, tm: pf.tm, pm: power.DefaultModel(), gen: pf.gen, arts: cache}, nil
 }
 
 // Config returns the system configuration.
@@ -242,7 +270,7 @@ type Chip struct {
 // aging physics follow Config.AgingModel.
 func (s *System) NewChip(seed int64) (*Chip, error) {
 	chip := s.gen.Chip(seed)
-	pred, err := thermpredict.Learn(s.tm, s.pm, chip)
+	pred, err := s.arts.predictor(s, chip)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +278,11 @@ func (s *System) NewChip(seed int64) (*Chip, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Chip{sys: s, chip: chip, pred: pred, ca: ca, tab: aging.DefaultTable(ca)}, nil
+	tab, err := s.arts.table(s.cfg.AgingModel, seed, ca)
+	if err != nil {
+		return nil, err
+	}
+	return &Chip{sys: s, chip: chip, pred: pred, ca: ca, tab: tab}, nil
 }
 
 // Seed returns the chip's manufacturing seed.
@@ -316,7 +348,15 @@ func (r *LifetimeResult) AverageFrequencyAt(years float64) float64 {
 
 // RunLifetime simulates the chip's whole lifetime under the given policy.
 func (c *Chip) RunLifetime(p Policy) (*LifetimeResult, error) {
-	return c.RunLifetimeTraced(p, nil, nil, 0)
+	return c.RunLifetimeContext(context.Background(), p)
+}
+
+// RunLifetimeContext is RunLifetime with cooperative cancellation: the
+// context is checked at every epoch boundary, so cancelling actually
+// stops the simulation work before the next epoch's transient window. The
+// returned error wraps ctx.Err() and names the epoch reached.
+func (c *Chip) RunLifetimeContext(ctx context.Context, p Policy) (*LifetimeResult, error) {
+	return c.runLifetime(ctx, p, nil, nil, 0)
 }
 
 // RunLifetimeCheckpointed runs the first uptoEpoch epochs, writes a JSON
@@ -372,6 +412,12 @@ func (c *Chip) newEngine(p Policy) (*sim.Engine, error) {
 // cores when cores is nil) are written as TSV every `everySteps` transient
 // steps.
 func (c *Chip) RunLifetimeTraced(p Policy, trace io.Writer, cores []int, everySteps int) (*LifetimeResult, error) {
+	return c.runLifetime(context.Background(), p, trace, cores, everySteps)
+}
+
+// runLifetime wires an engine, attaches the optional trace sink and runs
+// the lifetime under ctx.
+func (c *Chip) runLifetime(ctx context.Context, p Policy, trace io.Writer, cores []int, everySteps int) (*LifetimeResult, error) {
 	eng, err := c.newEngine(p)
 	if err != nil {
 		return nil, err
@@ -383,7 +429,7 @@ func (c *Chip) RunLifetimeTraced(p Policy, trace io.Writer, cores []int, everySt
 			return nil, err
 		}
 	}
-	res, err := eng.Run()
+	res, err := eng.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

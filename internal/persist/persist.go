@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/kit-ces/hayat/internal/metrics"
 	"github.com/kit-ces/hayat/internal/sim"
 	"github.com/kit-ces/hayat/internal/variation"
 )
@@ -178,6 +179,85 @@ func (r ResultRecord) Validate() error {
 			return fmt.Errorf("persist: epoch %d years not increasing", i)
 		}
 		prev = e.YearsElapsed
+	}
+	return nil
+}
+
+// PopulationRecord is the serialisable outcome of a population run: the
+// aggregate quantities of Figs. 7–11 plus the per-chip lifetime results
+// (in seed order).
+type PopulationRecord struct {
+	Version             int            `json:"version"`
+	Policy              string         `json:"policy"`
+	DarkFraction        float64        `json:"dark_fraction"`
+	BaseSeed            int64          `json:"base_seed"`
+	Chips               int            `json:"chips"`
+	TotalDTMEvents      int            `json:"total_dtm_events"`
+	MeanTempOverAmbient float64        `json:"mean_temp_over_ambient_k"`
+	ChipFMaxAging       float64        `json:"chip_fmax_aging_hz"`
+	AvgFMaxAging        float64        `json:"avg_fmax_aging_hz"`
+	Years               []float64      `json:"years"`
+	AvgFMaxSeries       []float64      `json:"avg_fmax_series_hz"`
+	Results             []ResultRecord `json:"results"`
+}
+
+// NewPopulationRecord captures a population run from its raw per-chip
+// results and their aggregate summary.
+func NewPopulationRecord(baseSeed int64, raw []*sim.Result, sum metrics.Summary) PopulationRecord {
+	rec := PopulationRecord{
+		Version:             FormatVersion,
+		Policy:              sum.Policy,
+		DarkFraction:        sum.DarkFraction,
+		BaseSeed:            baseSeed,
+		Chips:               sum.Chips,
+		TotalDTMEvents:      sum.TotalDTMEvents,
+		MeanTempOverAmbient: sum.MeanTempOverAmbient,
+		ChipFMaxAging:       sum.ChipFMaxAgingRate,
+		AvgFMaxAging:        sum.AvgFMaxAgingRate,
+		Years:               append([]float64(nil), sum.Years...),
+		AvgFMaxSeries:       append([]float64(nil), sum.AvgFMaxSeries...),
+	}
+	for _, r := range raw {
+		rec.Results = append(rec.Results, NewResultRecord(r))
+	}
+	return rec
+}
+
+// SavePopulation writes the population record as indented JSON.
+func SavePopulation(w io.Writer, rec PopulationRecord) error {
+	return writeJSON(w, rec)
+}
+
+// LoadPopulation reads a population record and validates it.
+func LoadPopulation(r io.Reader) (PopulationRecord, error) {
+	var rec PopulationRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return PopulationRecord{}, fmt.Errorf("persist: decoding population: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return PopulationRecord{}, err
+	}
+	return rec, nil
+}
+
+// Validate checks structural consistency.
+func (r PopulationRecord) Validate() error {
+	if r.Version != FormatVersion {
+		return fmt.Errorf("persist: population record version %d, want %d", r.Version, FormatVersion)
+	}
+	if r.Policy == "" {
+		return fmt.Errorf("persist: population record without policy name")
+	}
+	if r.Chips <= 0 || len(r.Results) != r.Chips {
+		return fmt.Errorf("persist: population record has %d results for %d chips", len(r.Results), r.Chips)
+	}
+	if len(r.Years) != len(r.AvgFMaxSeries) || len(r.Years) < 2 {
+		return fmt.Errorf("persist: population series inconsistent (%d years, %d values)", len(r.Years), len(r.AvgFMaxSeries))
+	}
+	for i, res := range r.Results {
+		if err := res.Validate(); err != nil {
+			return fmt.Errorf("persist: population chip %d: %w", i, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// resultStore is the content-addressed result cache: finished job JSON
+// keyed by the request hash. Entries live in memory and, when a data
+// directory is configured, are also persisted as <key>.json so results
+// survive restarts. Stored bytes are returned as-is, which makes repeat
+// hits byte-identical to the original miss.
+type resultStore struct {
+	mu  sync.Mutex
+	mem map[string][]byte
+	dir string
+}
+
+func newResultStore(dir string) (*resultStore, error) {
+	s := &resultStore{mem: make(map[string][]byte), dir: dir}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating data dir: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// get returns the cached result bytes for key, falling back to the data
+// directory (and re-populating memory) when configured.
+func (s *resultStore) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	data, ok := s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		return data, true
+	}
+	if s.dir == "" || !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.mem[key] = data
+	s.mu.Unlock()
+	return data, true
+}
+
+// put stores the result bytes. Disk write failures are reported but do
+// not invalidate the in-memory entry.
+func (s *resultStore) put(key string, data []byte) error {
+	s.mu.Lock()
+	s.mem[key] = data
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	if !validKey(key) {
+		return fmt.Errorf("service: refusing to persist unsafe key %q", key)
+	}
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: persisting result: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		return fmt.Errorf("service: persisting result: %w", err)
+	}
+	return nil
+}
+
+func (s *resultStore) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// validKey accepts only the lowercase-hex request hashes this service
+// generates, so keys can never escape the data directory.
+func validKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	return strings.IndexFunc(key, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) < 0
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/kit-ces/hayat"
+)
+
+// LifetimeRequest is the body of POST /v1/lifetime. Config fields use the
+// hayat.Config field names (e.g. {"Rows":4,"Cols":4,"Years":2}); omitted
+// fields take their DefaultConfig values. With wait set, the response
+// blocks until the job is terminal and carries the result inline.
+type LifetimeRequest struct {
+	Config json.RawMessage `json:"config,omitempty"`
+	Seed   int64           `json:"seed"`
+	Policy string          `json:"policy"`
+	Wait   bool            `json:"wait,omitempty"`
+}
+
+// PopulationRequest is the body of POST /v1/population.
+type PopulationRequest struct {
+	Config   json.RawMessage `json:"config,omitempty"`
+	BaseSeed int64           `json:"base_seed"`
+	Chips    int             `json:"chips"`
+	Policy   string          `json:"policy"`
+	Wait     bool            `json:"wait,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/lifetime    submit a single-chip lifetime job
+//	POST   /v1/population  submit a population fan-out job
+//	GET    /v1/jobs/{id}   poll status / fetch result
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /healthz        liveness
+//	GET    /metrics        counters and latency histograms
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lifetime", s.handleLifetime)
+	mux.HandleFunc("POST /v1/population", s.handlePopulation)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// decodeConfig overlays the request's partial config JSON onto the
+// defaults, rejecting unknown fields.
+func decodeConfig(raw json.RawMessage) (hayat.Config, error) {
+	cfg := hayat.DefaultConfig()
+	if len(raw) > 0 && !bytes.Equal(bytes.TrimSpace(raw), []byte("null")) {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return hayat.Config{}, fmt.Errorf("config: %w", err)
+		}
+	}
+	return cfg, nil
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleLifetime(w http.ResponseWriter, r *http.Request) {
+	var req LifetimeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cfg, err := decodeConfig(req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.SubmitLifetime(cfg, req.Seed, req.Policy)
+	s.respondSubmit(w, r, st, err, req.Wait)
+}
+
+func (s *Server) handlePopulation(w http.ResponseWriter, r *http.Request) {
+	var req PopulationRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cfg, err := decodeConfig(req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.SubmitPopulation(cfg, req.BaseSeed, req.Chips, req.Policy)
+	s.respondSubmit(w, r, st, err, req.Wait)
+}
+
+// respondSubmit renders a submit outcome: 400 for invalid requests, 503
+// when draining or saturated, 200 for a cache hit or finished wait, and
+// 202 for an accepted asynchronous job.
+func (s *Server) respondSubmit(w http.ResponseWriter, r *http.Request, st JobStatus, err error, wait bool) {
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if wait && !st.State.Terminal() {
+		waited, werr := s.Wait(r.Context(), st.ID)
+		if werr != nil {
+			// The waiting client went away; its job keeps running (it may
+			// be shared) unless nobody else can see it yet.
+			writeError(w, http.StatusRequestTimeout, werr)
+			return
+		}
+		st = waited
+	}
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"), true)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st, err := s.Status(id, false)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.met.Snapshot()
+	as := s.ArtifactStats()
+	snap.Artifacts.Hits = as.Hits
+	snap.Artifacts.Misses = as.Misses
+	snap.Artifacts.Platforms = as.Platforms
+	snap.Artifacts.Predictors = as.Predictors
+	snap.Artifacts.AgingTables = as.AgingTables
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an expvar-style monotonic (or up/down, for gauges) counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n may be negative for gauges).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histogramBounds are the latency bucket upper bounds in seconds
+// (roughly log-spaced from 1 ms to 1 min, plus +Inf).
+var histogramBounds = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram accumulates duration observations into fixed log-spaced
+// buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []int64 // one slot per bound plus a final +Inf bucket
+	sum    float64
+	n      int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(histogramBounds)+1)
+	}
+	h.n++
+	h.sum += s
+	for i, b := range histogramBounds {
+		if s <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(histogramBounds)]++
+}
+
+// Bucket is one histogram bucket: the count of observations ≤ LE seconds
+// (the last bucket has LE = +Inf encoded as 0 with Inf=true omitted —
+// JSON cannot carry Inf, so it is rendered as le_s = -1).
+type Bucket struct {
+	LE    float64 `json:"le_s"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a consistent copy of a histogram.
+type HistogramSnapshot struct {
+	Count      int64    `json:"count"`
+	SumSeconds float64  `json:"sum_s"`
+	Buckets    []Bucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram state. Empty buckets are elided.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.n, SumSeconds: h.sum}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := -1.0 // +Inf bucket
+		if i < len(histogramBounds) {
+			le = histogramBounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{LE: le, Count: c})
+	}
+	return s
+}
+
+// Metrics aggregates the service's counters and per-stage latency
+// histograms, in the spirit of stdlib expvar: cheap to update, exported
+// as one JSON document on GET /metrics.
+type Metrics struct {
+	// Job lifecycle counters.
+	JobsQueued    Counter // accepted into the queue
+	JobsRunning   Counter // gauge: currently executing
+	JobsDone      Counter
+	JobsFailed    Counter
+	JobsCancelled Counter
+	Coalesced     Counter // requests folded onto an in-flight identical job
+
+	// Result-cache outcomes (content-addressed request key).
+	CacheHits   Counter
+	CacheMisses Counter
+
+	// SimRuns counts simulations actually executed — the ground truth for
+	// "identical requests ran the engine exactly once".
+	SimRuns Counter
+
+	// Per-stage latency histograms.
+	QueueWait Histogram // submit → worker pickup
+	Setup     Histogram // system + chip construction
+	Simulate  Histogram // engine run
+	Encode    Histogram // result serialisation
+}
+
+// MetricsSnapshot is the JSON shape served on /metrics.
+type MetricsSnapshot struct {
+	Jobs struct {
+		Queued    int64 `json:"queued"`
+		Running   int64 `json:"running"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Cancelled int64 `json:"cancelled"`
+		Coalesced int64 `json:"coalesced"`
+	} `json:"jobs"`
+	Cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"cache"`
+	Artifacts struct {
+		Hits        int64 `json:"hits"`
+		Misses      int64 `json:"misses"`
+		Platforms   int   `json:"platforms"`
+		Predictors  int   `json:"predictors"`
+		AgingTables int   `json:"aging_tables"`
+	} `json:"artifacts"`
+	SimRuns      int64                        `json:"sim_runs"`
+	StageSeconds map[string]HistogramSnapshot `json:"stage_seconds"`
+}
+
+// Snapshot collects every counter and histogram.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.Jobs.Queued = m.JobsQueued.Value()
+	s.Jobs.Running = m.JobsRunning.Value()
+	s.Jobs.Done = m.JobsDone.Value()
+	s.Jobs.Failed = m.JobsFailed.Value()
+	s.Jobs.Cancelled = m.JobsCancelled.Value()
+	s.Jobs.Coalesced = m.Coalesced.Value()
+	s.Cache.Hits = m.CacheHits.Value()
+	s.Cache.Misses = m.CacheMisses.Value()
+	s.SimRuns = m.SimRuns.Value()
+	s.StageSeconds = map[string]HistogramSnapshot{
+		"queue_wait": m.QueueWait.Snapshot(),
+		"setup":      m.Setup.Snapshot(),
+		"simulate":   m.Simulate.Snapshot(),
+		"encode":     m.Encode.Snapshot(),
+	}
+	return s
+}

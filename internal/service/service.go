@@ -1,0 +1,599 @@
+// Package service turns the Hayat lifetime-simulation engine into a
+// long-running, queryable daemon: a bounded worker pool executes lifetime
+// and population jobs, identical requests coalesce singleflight-style
+// onto one computation, finished results live in a content-addressed
+// cache (hashed over the canonicalised config, seed and policy) and are
+// served byte-identical on repeat requests, and running jobs are
+// cancellable at epoch boundaries. cmd/hayatd exposes it over HTTP/JSON.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/kit-ces/hayat"
+)
+
+// Job kinds.
+const (
+	KindLifetime   = "lifetime"
+	KindPopulation = "population"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Sentinel errors surfaced to API callers.
+var (
+	ErrUnknownJob = errors.New("service: unknown job")
+	ErrDraining   = errors.New("service: server is draining")
+	ErrQueueFull  = errors.New("service: job queue is full")
+)
+
+// request is the canonical description of one unit of work. Its JSON
+// encoding (deterministic struct field order, normalised config and
+// policy name) is hashed into the content-addressed cache key.
+type request struct {
+	Kind   string
+	Config hayat.Config
+	Policy string
+	Seed   int64
+	Chips  int
+}
+
+func (r request) key() string {
+	blob, err := json.Marshal(r)
+	if err != nil {
+		// hayat.Config is plain data; this cannot fail.
+		panic(fmt.Sprintf("service: marshalling request: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// NormalizeConfig maps a config onto its canonical form so that requests
+// spelling defaults explicitly hash identically to requests omitting
+// them.
+func NormalizeConfig(cfg hayat.Config) hayat.Config {
+	if cfg.DutyMode == "" {
+		cfg.DutyMode = "known"
+	}
+	if cfg.AgingModel == "" {
+		cfg.AgingModel = "nbti"
+	}
+	if len(cfg.FreqLadderGHz) == 0 {
+		cfg.FreqLadderGHz = nil
+	}
+	return cfg
+}
+
+// configKey hashes a canonical config alone (the System-cache key).
+func configKey(cfg hayat.Config) string {
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service: marshalling config: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Job is one scheduled simulation. Mutable fields are guarded by the
+// server mutex; progress counters are atomics updated from simulation
+// workers.
+type Job struct {
+	id      string
+	key     string
+	req     request
+	state   JobState
+	cached  bool
+	created time.Time
+	started time.Time
+	finish  time.Time
+	result  []byte
+	errMsg  string
+
+	doneChips  atomicMax
+	totalChips atomicMax
+
+	cancelRun context.CancelFunc
+	done      chan struct{}
+}
+
+// atomicMax is an int64 that only moves up (progress is monotone even
+// when workers report out of order).
+type atomicMax struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomicMax) raise(v int64) {
+	a.mu.Lock()
+	if v > a.v {
+		a.v = v
+	}
+	a.mu.Unlock()
+}
+
+func (a *atomicMax) load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// Progress is a population job's per-seed completion count.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID         string          `json:"job_id"`
+	Key        string          `json:"key"`
+	Kind       string          `json:"kind"`
+	State      JobState        `json:"state"`
+	Cached     bool            `json:"cached"`
+	CreatedAt  time.Time       `json:"created_at"`
+	StartedAt  *time.Time      `json:"started_at,omitempty"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	Progress   *Progress       `json:"progress,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Options configures a Server. Zero values select defaults.
+type Options struct {
+	// Workers is the bounded worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 64); submits beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// MaxRecords bounds retained finished-job records (default 256);
+	// the oldest are evicted first. Cached results are unaffected.
+	MaxRecords int
+	// DataDir, when set, persists results as <key>.json for reuse across
+	// restarts.
+	DataDir string
+	// Artifacts optionally shares platform artifacts (Cholesky factors,
+	// thermal LU, predictors, aging tables) with other components; by
+	// default the server creates its own cache.
+	Artifacts *hayat.ArtifactCache
+	// Logf receives operational log lines (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+// Server is the lifetime-simulation service.
+type Server struct {
+	opts  Options
+	arts  *hayat.ArtifactCache
+	store *resultStore
+	met   Metrics
+	start time.Time
+	logf  func(string, ...any)
+
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job // request key → queued/running job
+	finished []string        // finished job IDs, oldest first
+	queue    chan *Job
+	draining bool
+	nextID   int64
+	systems  map[string]*sysEntry
+
+	wg sync.WaitGroup
+}
+
+// sysEntry builds a System once per canonical config (singleflight).
+type sysEntry struct {
+	once sync.Once
+	sys  *hayat.System
+	err  error
+}
+
+// New starts a server with its worker pool running.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxRecords <= 0 {
+		opts.MaxRecords = 256
+	}
+	store, err := newResultStore(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	arts := opts.Artifacts
+	if arts == nil {
+		arts = hayat.NewArtifactCache()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		arts:     arts,
+		store:    store,
+		start:    time.Now(),
+		logf:     logf,
+		baseCtx:  ctx,
+		stopAll:  cancel,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		queue:    make(chan *Job, opts.QueueDepth),
+		systems:  make(map[string]*sysEntry),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics exposes the server's counters (also served on GET /metrics).
+func (s *Server) Metrics() *Metrics { return &s.met }
+
+// ArtifactStats snapshots the shared artifact cache.
+func (s *Server) ArtifactStats() hayat.ArtifactStats { return s.arts.Stats() }
+
+// SubmitLifetime schedules (or coalesces, or answers from cache) a
+// single-chip lifetime simulation and returns the job's status.
+func (s *Server) SubmitLifetime(cfg hayat.Config, seed int64, policy string) (JobStatus, error) {
+	return s.submit(request{Kind: KindLifetime, Config: cfg, Policy: policy, Seed: seed, Chips: 1})
+}
+
+// SubmitPopulation schedules a population fan-out over seeds
+// baseSeed…baseSeed+chips−1 with per-seed progress reporting.
+func (s *Server) SubmitPopulation(cfg hayat.Config, baseSeed int64, chips int, policy string) (JobStatus, error) {
+	if chips <= 0 {
+		return JobStatus{}, fmt.Errorf("service: population size must be positive, got %d", chips)
+	}
+	return s.submit(request{Kind: KindPopulation, Config: cfg, Policy: policy, Seed: baseSeed, Chips: chips})
+}
+
+func (s *Server) submit(req request) (JobStatus, error) {
+	pol, err := hayat.ParsePolicy(req.Policy)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Policy = pol.String() // canonical spelling for the cache key
+	req.Config = NormalizeConfig(req.Config)
+	if err := req.Config.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	key := req.key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.inflight[key]; ok {
+		s.met.Coalesced.Add(1)
+		return s.statusLocked(j, false), nil
+	}
+	if data, ok := s.store.get(key); ok {
+		s.met.CacheHits.Add(1)
+		j := s.newJobLocked(req, key)
+		now := time.Now()
+		j.state, j.cached, j.result = JobDone, true, data
+		j.started, j.finish = now, now
+		close(j.done)
+		s.rememberFinishedLocked(j)
+		return s.statusLocked(j, true), nil
+	}
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	s.met.CacheMisses.Add(1)
+	j := s.newJobLocked(req, key)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		return JobStatus{}, ErrQueueFull
+	}
+	s.inflight[key] = j
+	s.met.JobsQueued.Add(1)
+	return s.statusLocked(j, false), nil
+}
+
+func (s *Server) newJobLocked(req request, key string) *Job {
+	s.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("job-%06d", s.nextID),
+		key:     key,
+		req:     req,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	if req.Kind == KindPopulation {
+		j.totalChips.raise(int64(req.Chips))
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// rememberFinishedLocked appends a terminal job to the eviction queue and
+// drops the oldest records beyond Options.MaxRecords.
+func (s *Server) rememberFinishedLocked(j *Job) {
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.opts.MaxRecords {
+		victim := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, victim)
+	}
+}
+
+// Status returns a job snapshot; the (possibly large) result payload is
+// attached only when includeResult is set.
+func (s *Server) Status(id string, includeResult bool) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(j, includeResult), nil
+}
+
+func (s *Server) statusLocked(j *Job, includeResult bool) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		Key:       j.key,
+		Kind:      j.req.Kind,
+		State:     j.state,
+		Cached:    j.cached,
+		CreatedAt: j.created,
+		Error:     j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finish.IsZero() {
+		t := j.finish
+		st.FinishedAt = &t
+	}
+	if j.req.Kind == KindPopulation {
+		st.Progress = &Progress{Done: int(j.doneChips.load()), Total: int(j.totalChips.load())}
+	}
+	if includeResult && j.state == JobDone {
+		st.Result = json.RawMessage(j.result)
+	}
+	return st
+}
+
+// Wait blocks until the job reaches a terminal state (returning its full
+// status, result included) or ctx is cancelled.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return s.Status(id, true)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Cancel aborts a job: a queued job is marked cancelled immediately, a
+// running job has its context cancelled and stops at the next epoch
+// boundary. Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownJob
+	}
+	switch j.state {
+	case JobQueued:
+		j.state = JobCancelled
+		j.errMsg = "cancelled while queued"
+		j.finish = time.Now()
+		delete(s.inflight, j.key)
+		close(j.done)
+		s.met.JobsCancelled.Add(1)
+		s.rememberFinishedLocked(j)
+		s.mu.Unlock()
+		return nil
+	case JobRunning:
+		cancel := j.cancelRun
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// Shutdown drains the server: no new jobs are accepted, queued and
+// running jobs are given until ctx expires to complete, then the
+// remaining ones are cancelled at their next epoch boundary. Blocks until
+// all workers have exited; safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.logf("service: drain deadline reached, cancelling in-flight jobs")
+		s.stopAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Uptime reports how long the server has been running.
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	runCtx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	s.mu.Lock()
+	if j.state != JobQueued { // cancelled while waiting in the queue
+		s.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	s.mu.Unlock()
+	s.met.JobsRunning.Add(1)
+	s.met.QueueWait.Observe(j.started.Sub(j.created))
+
+	data, err := s.execute(runCtx, j)
+	if err == nil {
+		// Publish to the cache before the job turns terminal so an
+		// identical request arriving right after completion hits it.
+		if perr := s.store.put(j.key, data); perr != nil {
+			s.logf("service: %v", perr)
+		}
+	}
+
+	s.mu.Lock()
+	j.finish = time.Now()
+	j.cancelRun = nil
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = data
+		s.met.JobsDone.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCancelled
+		j.errMsg = err.Error()
+		s.met.JobsCancelled.Add(1)
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		s.met.JobsFailed.Add(1)
+	}
+	delete(s.inflight, j.key)
+	close(j.done)
+	s.rememberFinishedLocked(j)
+	s.mu.Unlock()
+	s.met.JobsRunning.Add(-1)
+	if err != nil {
+		s.logf("service: %s %s: %v", j.req.Kind, j.id, err)
+	}
+}
+
+// execute runs the simulation for one job under its context.
+func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
+	pol, err := hayat.ParsePolicy(j.req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	setupStart := time.Now()
+	sys, err := s.system(j.req.Config)
+	if err != nil {
+		return nil, err
+	}
+
+	var buf bytes.Buffer
+	switch j.req.Kind {
+	case KindLifetime:
+		chip, err := sys.NewChip(j.req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.met.Setup.Observe(time.Since(setupStart))
+		simStart := time.Now()
+		s.met.SimRuns.Add(1)
+		res, err := chip.RunLifetimeContext(ctx, pol)
+		if err != nil {
+			return nil, err
+		}
+		s.met.Simulate.Observe(time.Since(simStart))
+		encStart := time.Now()
+		if err := res.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		s.met.Encode.Observe(time.Since(encStart))
+	case KindPopulation:
+		s.met.Setup.Observe(time.Since(setupStart))
+		simStart := time.Now()
+		s.met.SimRuns.Add(1)
+		pr, err := sys.RunPopulationProgress(ctx, j.req.Seed, j.req.Chips, pol,
+			func(done, total int) { j.doneChips.raise(int64(done)) })
+		if err != nil {
+			return nil, err
+		}
+		s.met.Simulate.Observe(time.Since(simStart))
+		encStart := time.Now()
+		if err := pr.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		s.met.Encode.Observe(time.Since(encStart))
+	default:
+		return nil, fmt.Errorf("service: unknown job kind %q", j.req.Kind)
+	}
+	return buf.Bytes(), nil
+}
+
+// system returns the (cached) System for a canonical config.
+func (s *Server) system(cfg hayat.Config) (*hayat.System, error) {
+	key := configKey(cfg)
+	s.mu.Lock()
+	e, ok := s.systems[key]
+	if !ok {
+		e = &sysEntry{}
+		s.systems[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.sys, e.err = hayat.NewSystemWith(cfg, s.arts) })
+	return e.sys, e.err
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -82,7 +83,7 @@ func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
 	if uptoEpoch < 0 || uptoEpoch > e.Epochs() {
 		return nil, fmt.Errorf("sim: uptoEpoch %d outside [0,%d]", uptoEpoch, e.Epochs())
 	}
-	if err := e.runRange(st, 0, uptoEpoch); err != nil {
+	if err := e.runRange(context.Background(), st, 0, uptoEpoch); err != nil {
 		return nil, err
 	}
 	cp := &Checkpoint{
@@ -112,6 +113,12 @@ func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
 // Resume continues a checkpointed run to the end of the lifetime and
 // returns the complete result (including the checkpointed epochs).
 func (e *Engine) Resume(cp *Checkpoint) (*Result, error) {
+	return e.ResumeContext(context.Background(), cp)
+}
+
+// ResumeContext is Resume with cooperative cancellation at epoch
+// boundaries (see RunContext).
+func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint) (*Result, error) {
 	if err := cp.Validate(e); err != nil {
 		return nil, err
 	}
@@ -129,7 +136,7 @@ func (e *Engine) Resume(cp *Checkpoint) (*Result, error) {
 		st.prevOn = append([]bool(nil), cp.PrevOn...)
 	}
 	st.records = append([]EpochRecord(nil), cp.Records...)
-	if err := e.runRange(st, cp.NextEpoch, e.Epochs()); err != nil {
+	if err := e.runRange(ctx, st, cp.NextEpoch, e.Epochs()); err != nil {
 		return nil, err
 	}
 	res := e.packageResult(st)

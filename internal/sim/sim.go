@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -312,18 +313,27 @@ func (e *Engine) Epochs() int {
 
 // Run simulates the full lifetime and returns the result.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// at every epoch boundary, so a cancelled run stops before the next
+// epoch's transient window starts. The returned error wraps ctx.Err() and
+// names the epoch reached (a checkpoint at the preceding remix boundary
+// makes such a run resumable, see Checkpoint).
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	st, err := e.newRunState()
 	if err != nil {
 		return nil, err
 	}
-	if err := e.runRange(st, 0, e.Epochs()); err != nil {
+	if err := e.runRange(ctx, st, 0, e.Epochs()); err != nil {
 		return nil, err
 	}
 	return e.packageResult(st), nil
 }
 
 // runRange executes epochs [from, to).
-func (e *Engine) runRange(st *runState, from, to int) error {
+func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error {
 	cfg := e.cfg
 	n := e.chip.Floorplan.N()
 	horizon := cfg.HorizonYears
@@ -338,6 +348,9 @@ func (e *Engine) runRange(st *runState, from, to int) error {
 	var err error
 
 	for ep := from; ep < to; ep++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("sim: run cancelled at epoch %d of %d: %w", ep, to, cerr)
+		}
 		// (Re-)draw the workload mix when due.
 		if mix == nil || (cfg.RemixEpochs > 0 && ep%cfg.RemixEpochs == 0) {
 			seed := cfg.MixSeed

@@ -1,10 +1,12 @@
 package hayat
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/kit-ces/hayat/internal/metrics"
 	"github.com/kit-ces/hayat/internal/persist"
@@ -44,13 +46,47 @@ type PopulationResult struct {
 // aggregated result is deterministic regardless of scheduling because
 // results are collected in seed order.
 func (s *System) RunPopulation(baseSeed int64, chips int, p Policy) (*PopulationResult, error) {
+	return s.RunPopulationContext(context.Background(), baseSeed, chips, p)
+}
+
+// RunPopulationContext is RunPopulation with cooperative cancellation:
+// every chip's lifetime run checks the context at epoch boundaries, and
+// the first error (or cancellation) aborts the chips still queued or
+// simulating instead of letting the rest of the population run to
+// completion. The returned error is the first one observed; on
+// cancellation it wraps ctx.Err().
+func (s *System) RunPopulationContext(ctx context.Context, baseSeed int64, chips int, p Policy) (*PopulationResult, error) {
+	return s.RunPopulationProgress(ctx, baseSeed, chips, p, nil)
+}
+
+// RunPopulationProgress is RunPopulationContext with per-chip progress
+// reporting: after each chip's lifetime completes, progress is called
+// with the number of finished chips and the population size. It may be
+// called concurrently from worker goroutines; the done count is
+// monotonically increasing across calls. A nil progress is allowed.
+func (s *System) RunPopulationProgress(ctx context.Context, baseSeed int64, chips int, p Policy, progress func(done, total int)) (*PopulationResult, error) {
 	if chips <= 0 {
 		return nil, fmt.Errorf("hayat: population size must be positive, got %d", chips)
 	}
-	pr := &PopulationResult{Policy: p.String(), DarkFraction: s.cfg.DarkFraction, Chips: chips}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
+	pr := &PopulationResult{Policy: p.String(), DarkFraction: s.cfg.DarkFraction, Chips: chips}
 	results := make([]*LifetimeResult, chips)
-	errs := make([]error, chips)
+	var (
+		firstErr  error
+		errOnce   sync.Once
+		doneCount atomic.Int64
+	)
+	// fail records the first error and cancels everything still running;
+	// later failures (typically the cancellations it caused) are dropped.
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers > chips {
 		workers = chips
@@ -62,26 +98,45 @@ func (s *System) RunPopulation(baseSeed int64, chips int, p Policy) (*Population
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if runCtx.Err() != nil {
+					continue // aborted: drain the queue without simulating
+				}
 				chip, err := s.NewChip(baseSeed + int64(i))
 				if err != nil {
-					errs[i] = err
+					fail(err)
 					continue
 				}
-				results[i], errs[i] = chip.RunLifetime(p)
+				res, err := chip.RunLifetimeContext(runCtx, p)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = res
+				if progress != nil {
+					progress(int(doneCount.Add(1)), chips)
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < chips; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-runCtx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	// A parent cancellation that fired before any chip failed still has
+	// to surface as an error.
+	errOnce.Do(func() { firstErr = ctx.Err() })
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	var raw []*sim.Result
 	for i := 0; i < chips; i++ {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		pr.Results = append(pr.Results, results[i])
 		raw = append(raw, results[i].res)
 	}
@@ -136,4 +191,18 @@ func LifetimeExtension(candidate, baselineRes *PopulationResult, requiredYears f
 // epoch record) as indented JSON.
 func (r *LifetimeResult) WriteJSON(w io.Writer) error {
 	return persist.SaveResult(w, r.res)
+}
+
+// WriteJSON serialises the population result — the aggregates of
+// Figs. 7–11 plus every per-chip lifetime record — as indented JSON.
+func (pr *PopulationResult) WriteJSON(w io.Writer) error {
+	raw := make([]*sim.Result, len(pr.Results))
+	for i, r := range pr.Results {
+		raw[i] = r.res
+	}
+	var baseSeed int64
+	if len(raw) > 0 {
+		baseSeed = raw[0].ChipSeed
+	}
+	return persist.SavePopulation(w, persist.NewPopulationRecord(baseSeed, raw, pr.summary))
 }
