@@ -7,6 +7,15 @@
 // Usage:
 //
 //	hayatd [-addr :8080] [-workers N] [-queue N] [-data DIR] [-drain 30s]
+//	       [-journal FILE] [-checkpoints DIR] [-checkpoint-every N]
+//	       [-failpoints SPECS]
+//
+// With -journal, accepted jobs are write-ahead journalled and re-enqueued
+// (under their original IDs) after a crash; with -checkpoints, recovered
+// jobs resume from their last persisted checkpoint instead of restarting.
+// -failpoints (or the HAYAT_FAILPOINTS environment variable) arms fault
+// injection for crash drills, e.g.
+// "service.cache-read=prob(0.1),sim.thermal-solve=fail(3)".
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // jobs for the -drain grace period, then cancels the rest at their next
@@ -25,32 +34,64 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/kit-ces/hayat/internal/faultinject"
 	"github.com/kit-ces/hayat/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
-		queue   = flag.Int("queue", 64, "bounded job-queue depth")
-		data    = flag.String("data", "", "directory for persisted results (empty: memory only)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		queue      = flag.Int("queue", 64, "bounded job-queue depth")
+		data       = flag.String("data", "", "directory for persisted results (empty: memory only)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
+		journal    = flag.String("journal", "", "write-ahead job journal file (empty: no crash recovery)")
+		ckptDir    = flag.String("checkpoints", "", "directory for job checkpoints (empty: recovered jobs restart)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in epochs (0: every workload-remix boundary)")
+		failpoints = flag.String("failpoints", "", "arm failpoints, e.g. service.cache-read=prob(0.1) (also HAYAT_FAILPOINTS)")
+		// Write timeout must cover wait=true long-polls, which block for a
+		// whole simulation.
+		waitBudget = flag.Duration("wait-budget", 15*time.Minute, "HTTP write timeout (bounds wait=true long-polls)")
 	)
 	flag.Parse()
 	log.SetPrefix("hayatd: ")
 	log.SetFlags(log.LstdFlags)
 
+	if err := faultinject.ArmFromEnv(); err != nil {
+		log.Fatalf("HAYAT_FAILPOINTS: %v", err)
+	}
+	if *failpoints != "" {
+		if err := faultinject.ArmSpecs(*failpoints); err != nil {
+			log.Fatalf("-failpoints: %v", err)
+		}
+	}
+	for _, name := range faultinject.Names() {
+		log.Printf("failpoint armed: %s", name)
+	}
+
 	srv, err := service.New(service.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		DataDir:    *data,
-		Logf:       log.Printf,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DataDir:         *data,
+		JournalPath:     *journal,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow-client defences: a stalled peer cannot pin a connection (and
+		// its goroutine) forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      *waitBudget,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -81,12 +81,9 @@ func run(policyName string, seed int64, dark, years, epoch float64, maps bool, j
 		seed, chip.FrequencySpread()*100, sys.Cores(), pol, dark*100)
 
 	if checkpointPath != "" {
-		f, err := os.Create(checkpointPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := chip.RunLifetimeCheckpointed(pol, checkpointAt, f); err != nil {
+		// Written atomically (temp file + rename) so an interrupted run
+		// never leaves a torn checkpoint behind.
+		if err := chip.RunLifetimeCheckpointedFile(pol, checkpointAt, checkpointPath); err != nil {
 			return err
 		}
 		fmt.Printf("checkpoint after %d epochs written to %s\n", checkpointAt, checkpointPath)
@@ -95,12 +92,7 @@ func run(policyName string, seed int64, dark, years, epoch float64, maps bool, j
 
 	var res *hayat.LifetimeResult
 	if resumePath != "" {
-		f, err := os.Open(resumePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		res, err = chip.ResumeLifetime(pol, f)
+		res, err = chip.ResumeLifetimeFile(pol, resumePath)
 		if err != nil {
 			return err
 		}

@@ -23,6 +23,7 @@
 package hayat
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -374,6 +375,21 @@ func (c *Chip) RunLifetimeCheckpointed(p Policy, uptoEpoch int, w io.Writer) err
 	return sim.WriteCheckpoint(w, cp)
 }
 
+// RunLifetimeCheckpointedFile is RunLifetimeCheckpointed writing the
+// checkpoint atomically (temp file + rename), so an interrupted write can
+// never leave a torn checkpoint at path.
+func (c *Chip) RunLifetimeCheckpointedFile(p Policy, uptoEpoch int, path string) error {
+	eng, err := c.newEngine(p)
+	if err != nil {
+		return err
+	}
+	cp, err := eng.RunCheckpoint(uptoEpoch)
+	if err != nil {
+		return err
+	}
+	return sim.WriteCheckpointFile(path, cp)
+}
+
 // ResumeLifetime continues a checkpointed run (same chip seed, policy and
 // configuration) to the end of the lifetime.
 func (c *Chip) ResumeLifetime(p Policy, r io.Reader) (*LifetimeResult, error) {
@@ -390,6 +406,82 @@ func (c *Chip) ResumeLifetime(p Policy, r io.Reader) (*LifetimeResult, error) {
 		return nil, err
 	}
 	return wrapResult(res), nil
+}
+
+// ResumeLifetimeFile is ResumeLifetime reading the checkpoint from path.
+func (c *Chip) ResumeLifetimeFile(p Policy, path string) (*LifetimeResult, error) {
+	eng, err := c.newEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := sim.ReadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Resume(cp)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// CheckpointSink receives serialised engine checkpoints during a
+// checkpointed lifetime run: nextEpoch is the first epoch not yet
+// simulated, checkpoint the JSON blob ResumeLifetimeWithCheckpoints
+// accepts. Returning an error aborts the run; sinks that persist
+// best-effort should log and return nil.
+type CheckpointSink func(nextEpoch int, checkpoint []byte) error
+
+// RunLifetimeWithCheckpoints is RunLifetimeContext with periodic
+// checkpointing: sink is invoked at every workload-remix boundary that is
+// a multiple of everyEpochs (everyEpochs ≤ the remix interval means every
+// boundary). On configurations without remix boundaries it degrades to a
+// plain run.
+func (c *Chip) RunLifetimeWithCheckpoints(ctx context.Context, p Policy, everyEpochs int, sink CheckpointSink) (*LifetimeResult, error) {
+	eng, err := c.newEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.RunContextCheckpointed(ctx, everyEpochs, wrapSink(sink))
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// ResumeLifetimeWithCheckpoints continues from a serialised checkpoint
+// (same chip seed, policy and configuration) with the same periodic
+// checkpointing as RunLifetimeWithCheckpoints. The completed result is
+// identical to an uninterrupted run's.
+func (c *Chip) ResumeLifetimeWithCheckpoints(ctx context.Context, p Policy, checkpoint []byte, everyEpochs int, sink CheckpointSink) (*LifetimeResult, error) {
+	eng, err := c.newEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := sim.ReadCheckpoint(bytes.NewReader(checkpoint))
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.ResumeContextCheckpointed(ctx, cp, everyEpochs, wrapSink(sink))
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// wrapSink adapts a public CheckpointSink to the engine's, serialising
+// each checkpoint to JSON.
+func wrapSink(sink CheckpointSink) sim.CheckpointSink {
+	if sink == nil {
+		return nil
+	}
+	return func(cp *sim.Checkpoint) error {
+		var buf bytes.Buffer
+		if err := sim.WriteCheckpoint(&buf, cp); err != nil {
+			return err
+		}
+		return sink(cp.NextEpoch, buf.Bytes())
+	}
 }
 
 // newEngine wires a simulation engine for this chip and policy.

@@ -1,0 +1,166 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitsPass(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.Hit("anything"); err != nil {
+		t.Fatalf("disarmed hit failed: %v", err)
+	}
+	if err := r.Arm("a", "always"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Hit("b"); err != nil {
+		t.Fatalf("hit on a different name failed: %v", err)
+	}
+}
+
+func TestAlwaysAndOff(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.Arm("seam", "always"); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Hit("seam")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	if err := r.Arm("seam", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Hit("seam"); err != nil {
+		t.Fatalf("off failpoint fired: %v", err)
+	}
+}
+
+func TestFailNCountsDown(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.Arm("seam", "fail(3)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Hit("seam"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v, want ErrInjected", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Hit("seam"); err != nil {
+			t.Fatalf("hit after exhaustion failed: %v", err)
+		}
+	}
+	st := r.Stats()["seam"]
+	if st.Hits != 8 || st.Fires != 3 {
+		t.Fatalf("stats %+v, want 8 hits / 3 fires", st)
+	}
+}
+
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		r := NewRegistry(seed)
+		if err := r.Arm("seam", "prob(0.5)"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Hit("seam") != nil
+		}
+		return out
+	}
+	a, b := sequence(7), sequence(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("prob(0.5) fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestSleepDelaysAndPasses(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.Arm("seam", "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := r.Hit("seam"); err != nil {
+		t.Fatalf("sleep failpoint errored: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep failpoint returned after %v, want ≥30ms", d)
+	}
+}
+
+func TestArmSpecsAndEnv(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.ArmSpecs("a=always, b=fail(2) ,c=off"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+	t.Setenv(EnvVar, "d=prob(0.1)")
+	if err := r.ArmFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names()) != 3 {
+		t.Fatalf("env arming failed: %v", r.Names())
+	}
+	r.DisarmAll()
+	if len(r.Names()) != 0 || r.Hit("a") != nil {
+		t.Fatal("DisarmAll left failpoints armed")
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	r := NewRegistry(1)
+	for _, spec := range []string{"", "nope", "fail(0)", "fail(x)", "prob(2)", "sleep(-1s)", "sleep(zzz)"} {
+		if err := r.Arm("seam", spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if err := r.ArmSpecs("missing-equals"); err == nil {
+		t.Error("malformed list entry accepted")
+	}
+	if err := r.Arm("", "always"); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	r := NewRegistry(1)
+	if err := r.Arm("seam", "fail(100)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fires sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 50; i++ {
+				if r.Hit("seam") != nil {
+					n++
+				}
+			}
+			fires.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	fires.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 100 {
+		t.Fatalf("fail(100) fired %d times across goroutines", total)
+	}
+}

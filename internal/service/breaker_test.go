@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/kit-ces/hayat/internal/faultinject"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := newBreaker("test", 3, 50*time.Millisecond)
+	boom := errors.New("boom")
+	failing := func() error { return boom }
+
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if err := b.do(failing); !errors.Is(err, boom) {
+			t.Fatalf("closed breaker returned %v", err)
+		}
+	}
+	if st := b.snapshot(); st.State != breakerClosed {
+		t.Fatalf("state %s after 2 failures", st.State)
+	}
+	// Third consecutive failure trips it.
+	b.do(failing)
+	if st := b.snapshot(); st.State != breakerOpen || st.Trips != 1 {
+		t.Fatalf("after trip: %+v", st)
+	}
+	// Open: calls short-circuit without running fn.
+	ran := false
+	if err := b.do(func() error { ran = true; return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v", err)
+	}
+	if ran {
+		t.Fatal("open breaker executed the call")
+	}
+
+	// After the cooldown a probe is admitted; success closes the breaker.
+	time.Sleep(60 * time.Millisecond)
+	if err := b.do(func() error { return nil }); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if st := b.snapshot(); st.State != breakerClosed {
+		t.Fatalf("state %s after successful probe", st.State)
+	}
+
+	// Trip again; a failed probe reopens for another cooldown.
+	for i := 0; i < 3; i++ {
+		b.do(failing)
+	}
+	time.Sleep(60 * time.Millisecond)
+	b.do(failing) // failed probe
+	if st := b.snapshot(); st.Trips != 3 {
+		t.Fatalf("trips %d, want 3 (initial + re-trip + failed probe)", st.Trips)
+	}
+	if err := b.do(func() error { return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker admitted a call: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker("test", 3, time.Second)
+	boom := errors.New("boom")
+	// failure, failure, success, repeated: never trips.
+	for i := 0; i < 10; i++ {
+		b.do(func() error { return boom })
+		b.do(func() error { return boom })
+		b.do(func() error { return nil })
+	}
+	if st := b.snapshot(); st.State != breakerClosed || st.Trips != 0 {
+		t.Fatalf("interleaved successes still tripped: %+v", st)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	pol := RetryPolicy{}.withDefaults()
+	if pol.MaxAttempts != 4 || pol.BaseDelay != 50*time.Millisecond {
+		t.Fatalf("defaults: %+v", pol)
+	}
+	// Without jitter the schedule is exactly base·mult^(n-1), capped.
+	if d := pol.delay(1, nil); d != 50*time.Millisecond {
+		t.Fatalf("first delay %v", d)
+	}
+	if d := pol.delay(2, nil); d != 100*time.Millisecond {
+		t.Fatalf("second delay %v", d)
+	}
+	if d := pol.delay(10, nil); d != pol.MaxDelay {
+		t.Fatalf("capped delay %v", d)
+	}
+	// Jitter adds at most half a step and respects the cap.
+	jr := newLockedRand(7)
+	for n := 1; n < 12; n++ {
+		d := pol.delay(n, jr)
+		base := pol.delay(n, nil)
+		if d < base || d > pol.MaxDelay+pol.MaxDelay/2 {
+			t.Fatalf("jittered delay %v out of range (base %v)", d, base)
+		}
+	}
+}
+
+func TestRetryTransientOnlyRetriesInjectedErrors(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+
+	// Transient failures are retried until they stop.
+	calls := 0
+	err := retryTransient(context.Background(), pol, nil, nil, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky: %w", faultinject.ErrInjected)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err %v after %d calls", err, calls)
+	}
+
+	// Permanent errors fail immediately.
+	calls = 0
+	boom := errors.New("boom")
+	err = retryTransient(context.Background(), pol, nil, nil, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("permanent error retried: err %v calls %d", err, calls)
+	}
+
+	// The budget is bounded: MaxAttempts total tries, then the last error.
+	calls = 0
+	retries := 0
+	err = retryTransient(context.Background(), pol, newLockedRand(1), func(int, error) { retries++ }, func() error {
+		calls++
+		return fmt.Errorf("always down: %w", faultinject.ErrInjected)
+	})
+	if !errors.Is(err, faultinject.ErrInjected) || calls != 4 || retries != 3 {
+		t.Fatalf("exhaustion: err %v calls %d retries %d", err, calls, retries)
+	}
+
+	// Cancellation is never retried.
+	calls = 0
+	err = retryTransient(context.Background(), pol, nil, nil, func() error {
+		calls++
+		return context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("cancellation retried: calls %d", calls)
+	}
+}

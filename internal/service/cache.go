@@ -1,22 +1,43 @@
 package service
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"github.com/kit-ces/hayat/internal/faultinject"
+	"github.com/kit-ces/hayat/internal/persist"
+)
+
+// Failpoint names on the cache's hot seams (armed via HAYAT_FAILPOINTS).
+const (
+	fpCacheRead  = "service.cache-read"
+	fpCacheWrite = "service.cache-write"
 )
 
 // resultStore is the content-addressed result cache: finished job JSON
 // keyed by the request hash. Entries live in memory and, when a data
-// directory is configured, are also persisted as <key>.json so results
-// survive restarts. Stored bytes are returned as-is, which makes repeat
-// hits byte-identical to the original miss.
+// directory is configured, are also persisted as CRC32C-framed <key>.json
+// files so results survive restarts and torn or bit-flipped entries are
+// detected on read instead of being served. Corrupt files are quarantined
+// (renamed to <key>.json.corrupt) and treated as misses. Stored bytes are
+// returned as-is, which makes repeat hits byte-identical to the original
+// miss.
+//
+// All disk traffic runs through a circuit breaker: a flaking disk trips
+// it open and the store degrades gracefully to its memory tier instead of
+// stalling every request on a dying device.
 type resultStore struct {
 	mu  sync.Mutex
 	mem map[string][]byte
 	dir string
+
+	brk          *breaker // nil → disk unguarded (tests construct bare stores)
+	onQuarantine func()   // observes each quarantined file (may be nil)
 }
 
 func newResultStore(dir string) (*resultStore, error) {
@@ -30,7 +51,9 @@ func newResultStore(dir string) (*resultStore, error) {
 }
 
 // get returns the cached result bytes for key, falling back to the data
-// directory (and re-populating memory) when configured.
+// directory (and re-populating memory) when configured. Disk misbehaviour
+// — injected faults, CRC mismatches, an open breaker — degrades to a
+// cache miss, never an error.
 func (s *resultStore) get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	data, ok := s.mem[key]
@@ -41,18 +64,62 @@ func (s *resultStore) get(key string) ([]byte, bool) {
 	if s.dir == "" || !validKey(key) {
 		return nil, false
 	}
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
+	var payload []byte
+	err := s.throughBreaker(func() error {
+		if ferr := faultinject.Hit(fpCacheRead); ferr != nil {
+			return ferr
+		}
+		raw, rerr := os.ReadFile(s.path(key))
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				return nil // a clean miss is not a disk failure
+			}
+			return rerr
+		}
+		payload, rerr = s.decodeEntry(key, raw)
+		return rerr
+	})
+	if err != nil || payload == nil {
 		return nil, false
 	}
 	s.mu.Lock()
-	s.mem[key] = data
+	s.mem[key] = payload
 	s.mu.Unlock()
-	return data, true
+	return payload, true
 }
 
-// put stores the result bytes. Disk write failures are reported but do
-// not invalidate the in-memory entry.
+// decodeEntry validates one on-disk cache file. Framed entries must pass
+// their CRC; legacy unframed entries (written before framing existed) are
+// accepted when they are well-formed JSON. Anything else is quarantined.
+func (s *resultStore) decodeEntry(key string, raw []byte) ([]byte, error) {
+	if persist.IsFramed(raw) {
+		payload, err := persist.DecodeFrame(raw)
+		if err == nil {
+			return payload, nil
+		}
+		s.quarantine(key)
+		// Corruption is the file's fault, not the disk's: don't feed it to
+		// the breaker as a disk failure.
+		return nil, nil
+	}
+	if json.Valid(raw) {
+		return raw, nil
+	}
+	s.quarantine(key)
+	return nil, nil
+}
+
+// quarantine sidelines a corrupt cache file as <name>.corrupt so it stops
+// matching lookups but stays available for post-mortems.
+func (s *resultStore) quarantine(key string) {
+	if _, err := persist.Quarantine(s.path(key)); err == nil && s.onQuarantine != nil {
+		s.onQuarantine()
+	}
+}
+
+// put stores the result bytes. The memory tier always succeeds; disk
+// write failures are reported but do not invalidate the in-memory entry,
+// and an open breaker skips the disk entirely.
 func (s *resultStore) put(key string, data []byte) error {
 	s.mu.Lock()
 	s.mem[key] = data
@@ -63,14 +130,51 @@ func (s *resultStore) put(key string, data []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("service: refusing to persist unsafe key %q", key)
 	}
-	tmp := s.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("service: persisting result: %w", err)
+	err := s.throughBreaker(func() error {
+		if ferr := faultinject.Hit(fpCacheWrite); ferr != nil {
+			return ferr
+		}
+		return s.writeEntry(key, data)
+	})
+	if errors.Is(err, ErrBreakerOpen) {
+		return fmt.Errorf("service: skipping disk persist for %s: %w", key, err)
 	}
-	if err := os.Rename(tmp, s.path(key)); err != nil {
+	if err != nil {
 		return fmt.Errorf("service: persisting result: %w", err)
 	}
 	return nil
+}
+
+// writeEntry persists one framed cache file atomically (temp + rename).
+func (s *resultStore) writeEntry(key string, data []byte) error {
+	framed := persist.EncodeFrame(data)
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(framed)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), s.path(key))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+	}
+	return err
+}
+
+// throughBreaker routes a disk operation through the store's breaker when
+// one is attached, and straight through otherwise.
+func (s *resultStore) throughBreaker(fn func() error) error {
+	if s.brk == nil {
+		return fn()
+	}
+	return s.brk.do(fn)
 }
 
 func (s *resultStore) path(key string) string {

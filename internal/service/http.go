@@ -175,6 +175,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Artifacts.Platforms = as.Platforms
 	snap.Artifacts.Predictors = as.Predictors
 	snap.Artifacts.AgingTables = as.AgingTables
+	snap.Breakers = s.Breakers()
+	snap.Failpoints = s.Failpoints()
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRequest(seed int64) request {
+	return request{Kind: KindLifetime, Config: NormalizeConfig(tinyCfg()), Policy: "Hayat", Seed: seed, Chips: 1}
+}
+
+func TestJournalReplayPendingJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, pending, corrupt, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 || corrupt != 0 {
+		t.Fatalf("fresh journal: pending %d corrupt %d", len(pending), corrupt)
+	}
+
+	reqA, reqB, reqC := testRequest(1), testRequest(2), testRequest(3)
+	for i, r := range []request{reqA, reqB, reqC} {
+		id := fmt.Sprintf("job-%06d", i+1)
+		if err := j.submitted(id, r.key(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// job-000002 finished before the "crash"; the others were pending.
+	if err := j.terminal(opDone, "job-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, pending, corrupt, err = openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("%d corrupt lines in a clean journal", corrupt)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("pending %d jobs, want 2", len(pending))
+	}
+	if pending[0].ID != "job-000001" || pending[1].ID != "job-000003" {
+		t.Fatalf("pending order %q, %q", pending[0].ID, pending[1].ID)
+	}
+	if pending[0].Key != reqA.key() || pending[0].Req.Seed != 1 {
+		t.Fatalf("replayed request mangled: %+v", pending[0])
+	}
+}
+
+func TestJournalSkipsCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(7)
+	if err := j.submitted("job-000001", req.key(), req); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn append plus a bit flip in an earlier line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte{}, data...)
+	flipped[len(flipped)/2] ^= 0x40
+	flipped = append(flipped, []byte("hayatf1 deadbeef {\"op\":\"torn")...)
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, pending, corrupt, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 2 {
+		t.Fatalf("corrupt %d, want 2 (bit flip + torn tail)", corrupt)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("corrupt lines produced %d pending jobs", len(pending))
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn enough terminal records to trigger an in-flight compaction.
+	for i := 0; i < journalCompactEvery+8; i++ {
+		id := fmt.Sprintf("job-%06d", i+1)
+		req := testRequest(int64(i))
+		if err := j.submitted(id, req.key(), req); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.terminal(opDone, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := testRequest(999)
+	if err := j.submitted("job-999999", live.key(), live); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compaction must have dropped the dead churn: the file holds a
+	// handful of lines, not 2×(compactEvery+8).
+	if lines := bytes.Count(data, []byte("\n")); lines > 20 {
+		t.Fatalf("journal holds %d lines after compaction", lines)
+	}
+	_, pending, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].ID != "job-999999" {
+		t.Fatalf("post-compaction pending: %+v", pending)
+	}
+}

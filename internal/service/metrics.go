@@ -12,6 +12,10 @@ type Counter struct{ v atomic.Int64 }
 // Add increments the counter by n (n may be negative for gauges).
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
+// Store sets the counter to v (for gauges that track a latest-value, like
+// the epoch a recovered job resumed from).
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
@@ -102,6 +106,20 @@ type Metrics struct {
 	// "identical requests ran the engine exactly once".
 	SimRuns Counter
 
+	// Reliability counters: crash recovery, retries, checkpointing and
+	// corruption handling.
+	Retries               Counter // transient failures retried with backoff
+	RetryExhausted        Counter // retry budgets that ran out
+	JobsRecovered         Counter // jobs re-enqueued from the journal at startup
+	CheckpointWrites      Counter // checkpoints persisted
+	CheckpointWriteErrors Counter // checkpoint persists that failed (sim continued)
+	CheckpointResumes     Counter // recovered jobs resumed from a checkpoint
+	LastResumeEpoch       Counter // gauge: epoch of the most recent resume
+	Quarantined           Counter // corrupt cache entries sidelined
+	JournalAppendErrors   Counter // journal writes that failed
+	JournalCorrupt        Counter // corrupt journal lines skipped at replay
+	ChipResultsReused     Counter // population chips restored instead of re-simulated
+
 	// Per-stage latency histograms.
 	QueueWait Histogram // submit → worker pickup
 	Setup     Histogram // system + chip construction
@@ -130,8 +148,33 @@ type MetricsSnapshot struct {
 		Predictors  int   `json:"predictors"`
 		AgingTables int   `json:"aging_tables"`
 	} `json:"artifacts"`
+	Reliability struct {
+		Retries               int64 `json:"retries"`
+		RetryExhausted        int64 `json:"retry_exhausted"`
+		JobsRecovered         int64 `json:"jobs_recovered"`
+		CheckpointWrites      int64 `json:"checkpoint_writes"`
+		CheckpointWriteErrors int64 `json:"checkpoint_write_errors"`
+		CheckpointResumes     int64 `json:"checkpoint_resumes"`
+		LastResumeEpoch       int64 `json:"last_resume_epoch"`
+		Quarantined           int64 `json:"quarantined"`
+		JournalAppendErrors   int64 `json:"journal_append_errors"`
+		JournalCorrupt        int64 `json:"journal_corrupt"`
+		ChipResultsReused     int64 `json:"chip_results_reused"`
+	} `json:"reliability"`
+	// Breakers and Failpoints are filled in by the server (they live
+	// outside Metrics); empty maps are elided.
+	Breakers   map[string]BreakerSnapshot `json:"breakers,omitempty"`
+	Failpoints map[string]FailpointStats  `json:"failpoints,omitempty"`
+
 	SimRuns      int64                        `json:"sim_runs"`
 	StageSeconds map[string]HistogramSnapshot `json:"stage_seconds"`
+}
+
+// FailpointStats is one armed failpoint's activity, as served on /metrics.
+type FailpointStats struct {
+	Spec  string `json:"spec"`
+	Hits  int64  `json:"hits"`
+	Fires int64  `json:"fires"`
 }
 
 // Snapshot collects every counter and histogram.
@@ -145,6 +188,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.Jobs.Coalesced = m.Coalesced.Value()
 	s.Cache.Hits = m.CacheHits.Value()
 	s.Cache.Misses = m.CacheMisses.Value()
+	s.Reliability.Retries = m.Retries.Value()
+	s.Reliability.RetryExhausted = m.RetryExhausted.Value()
+	s.Reliability.JobsRecovered = m.JobsRecovered.Value()
+	s.Reliability.CheckpointWrites = m.CheckpointWrites.Value()
+	s.Reliability.CheckpointWriteErrors = m.CheckpointWriteErrors.Value()
+	s.Reliability.CheckpointResumes = m.CheckpointResumes.Value()
+	s.Reliability.LastResumeEpoch = m.LastResumeEpoch.Value()
+	s.Reliability.Quarantined = m.Quarantined.Value()
+	s.Reliability.JournalAppendErrors = m.JournalAppendErrors.Value()
+	s.Reliability.JournalCorrupt = m.JournalCorrupt.Value()
+	s.Reliability.ChipResultsReused = m.ChipResultsReused.Value()
 	s.SimRuns = m.SimRuns.Value()
 	s.StageSeconds = map[string]HistogramSnapshot{
 		"queue_wait": m.QueueWait.Snapshot(),

@@ -15,11 +15,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"github.com/kit-ces/hayat"
+	"github.com/kit-ces/hayat/internal/faultinject"
+	"github.com/kit-ces/hayat/internal/persist"
+)
+
+// Failpoint names on the job-execution hot seams.
+const (
+	fpJobSpawn        = "service.job-spawn"
+	fpCheckpointWrite = "service.checkpoint-write"
 )
 
 // Job kinds.
@@ -172,9 +182,32 @@ type Options struct {
 	// MaxRecords bounds retained finished-job records (default 256);
 	// the oldest are evicted first. Cached results are unaffected.
 	MaxRecords int
-	// DataDir, when set, persists results as <key>.json for reuse across
-	// restarts.
+	// DataDir, when set, persists results as CRC-framed <key>.json for
+	// reuse across restarts; corrupt entries are quarantined on read.
 	DataDir string
+	// JournalPath, when set, write-ahead journals every accepted job so
+	// work that was queued or running at a crash is re-enqueued (with its
+	// original job ID) when the server restarts.
+	JournalPath string
+	// CheckpointDir, when set, persists periodic simulation checkpoints
+	// so recovered jobs resume from their last checkpoint instead of
+	// restarting from epoch zero. Population jobs persist per-chip
+	// results there as well.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in epochs; it is rounded
+	// up to the workload-remix stride. Zero checkpoints at every remix
+	// boundary. Ignored without CheckpointDir.
+	CheckpointEvery int
+	// Retry bounds transient-failure retries around chip spawn and
+	// simulation (zero values select the RetryPolicy defaults).
+	Retry RetryPolicy
+	// BreakerThreshold consecutive failures trip the disk-cache and
+	// checkpoint circuit breakers open (default 5); BreakerCooldown is
+	// how long they stay open before a half-open probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// JitterSeed seeds the deterministic retry-backoff jitter (default 1).
+	JitterSeed int64
 	// Artifacts optionally shares platform artifacts (Cholesky factors,
 	// thermal LU, predictors, aging tables) with other components; by
 	// default the server creates its own cache.
@@ -191,6 +224,11 @@ type Server struct {
 	met   Metrics
 	start time.Time
 	logf  func(string, ...any)
+
+	jnl      *journal // nil when journalling is disabled
+	cacheBrk *breaker
+	ckptBrk  *breaker
+	jitter   *lockedRand
 
 	baseCtx context.Context
 	stopAll context.CancelFunc
@@ -237,6 +275,28 @@ func New(opts Options) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating checkpoint dir: %w", err)
+		}
+	}
+	if opts.JitterSeed == 0 {
+		opts.JitterSeed = 1
+	}
+
+	var (
+		jnl     *journal
+		pending []journalEntry
+		corrupt int
+	)
+	if opts.JournalPath != "" {
+		var jerr error
+		jnl, pending, corrupt, jerr = openJournal(opts.JournalPath)
+		if jerr != nil {
+			return nil, jerr
+		}
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:     opts,
@@ -244,18 +304,119 @@ func New(opts Options) (*Server, error) {
 		store:    store,
 		start:    time.Now(),
 		logf:     logf,
+		jnl:      jnl,
+		cacheBrk: newBreaker("disk-cache", opts.BreakerThreshold, opts.BreakerCooldown),
+		ckptBrk:  newBreaker("checkpoint", opts.BreakerThreshold, opts.BreakerCooldown),
+		jitter:   newLockedRand(opts.JitterSeed),
 		baseCtx:  ctx,
 		stopAll:  cancel,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
-		queue:    make(chan *Job, opts.QueueDepth),
-		systems:  make(map[string]*sysEntry),
+		// Recovered jobs must all fit even when they exceed QueueDepth.
+		queue:   make(chan *Job, opts.QueueDepth+len(pending)),
+		systems: make(map[string]*sysEntry),
 	}
+	store.brk = s.cacheBrk
+	store.onQuarantine = func() { s.met.Quarantined.Add(1) }
+	s.met.JournalCorrupt.Add(int64(corrupt))
+	if corrupt > 0 {
+		s.logf("service: journal replay skipped %d corrupt line(s)", corrupt)
+	}
+	s.recover(pending)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// recover re-enqueues the jobs the previous process left pending, keeping
+// their original IDs so clients can keep polling across the restart. Jobs
+// whose result landed in the cache before the crash complete immediately;
+// duplicate keys (which a healthy journal never contains) coalesce onto
+// the first entry.
+func (s *Server) recover(pending []journalEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range pending {
+		if e.Req.key() != e.Key {
+			// The journal's stored key disagrees with the request it
+			// carries: treat the record as corrupt rather than run the
+			// wrong work under a cached identity.
+			s.met.JournalCorrupt.Add(1)
+			s.recordTerminal(opFailed, e.ID)
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(e.ID, "job-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		if _, dup := s.inflight[e.Key]; dup {
+			s.recordTerminal(opCancelled, e.ID)
+			continue
+		}
+		j := &Job{
+			id:      e.ID,
+			key:     e.Key,
+			req:     e.Req,
+			state:   JobQueued,
+			created: time.Now(),
+			done:    make(chan struct{}),
+		}
+		if e.Req.Kind == KindPopulation {
+			j.totalChips.raise(int64(e.Req.Chips))
+		}
+		s.jobs[j.id] = j
+		if data, ok := s.store.get(e.Key); ok {
+			// The result was published before the crash; only the
+			// journal's terminal record was lost.
+			now := time.Now()
+			j.state, j.cached, j.result = JobDone, true, data
+			j.started, j.finish = now, now
+			close(j.done)
+			s.rememberFinishedLocked(j)
+			s.recordTerminal(opDone, e.ID)
+			s.met.CacheHits.Add(1)
+			continue
+		}
+		s.queue <- j // capacity reserved above; cannot block
+		s.inflight[e.Key] = j
+		s.met.JobsQueued.Add(1)
+		s.met.JobsRecovered.Add(1)
+		s.logf("service: recovered %s %s from journal", e.Req.Kind, e.ID)
+	}
+}
+
+// recordTerminal journals a terminal op, folding append failures into the
+// metrics instead of surfacing them (the journal is a durability aid, not
+// a correctness dependency once the job has an in-memory record).
+func (s *Server) recordTerminal(op, id string) {
+	if err := s.jnl.terminal(op, id); err != nil {
+		s.met.JournalAppendErrors.Add(1)
+		s.logf("service: %v", err)
+	}
+}
+
+// Breakers snapshots the server's circuit breakers for /metrics.
+func (s *Server) Breakers() map[string]BreakerSnapshot {
+	return map[string]BreakerSnapshot{
+		s.cacheBrk.name: s.cacheBrk.snapshot(),
+		s.ckptBrk.name:  s.ckptBrk.snapshot(),
+	}
+}
+
+// Failpoints snapshots the armed failpoints (from the process-wide
+// registry) for /metrics.
+func (s *Server) Failpoints() map[string]FailpointStats {
+	stats := faultinject.Stats()
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make(map[string]FailpointStats, len(stats))
+	for name, st := range stats {
+		out[name] = FailpointStats{Spec: st.Spec, Hits: st.Hits, Fires: st.Fires}
+	}
+	return out
 }
 
 // Metrics exposes the server's counters (also served on GET /metrics).
@@ -320,6 +481,13 @@ func (s *Server) submit(req request) (JobStatus, error) {
 	}
 	s.inflight[key] = j
 	s.met.JobsQueued.Add(1)
+	// Write-ahead: the job is durably journalled (fsync) before the
+	// submit is acknowledged, so an accepted job survives a crash. An
+	// append failure degrades durability, not availability.
+	if err := s.jnl.submitted(j.id, key, req); err != nil {
+		s.met.JournalAppendErrors.Add(1)
+		s.logf("service: %v", err)
+	}
 	return s.statusLocked(j, false), nil
 }
 
@@ -426,6 +594,7 @@ func (s *Server) Cancel(id string) error {
 		close(j.done)
 		s.met.JobsCancelled.Add(1)
 		s.rememberFinishedLocked(j)
+		s.recordTerminal(opCancelled, j.id)
 		s.mu.Unlock()
 		return nil
 	case JobRunning:
@@ -460,11 +629,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.jnl.Close()
 		return nil
 	case <-ctx.Done():
 		s.logf("service: drain deadline reached, cancelling in-flight jobs")
 		s.stopAll()
 		<-done
+		s.jnl.Close()
 		return ctx.Err()
 	}
 }
@@ -507,31 +678,42 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	j.finish = time.Now()
 	j.cancelRun = nil
+	var op string
 	switch {
 	case err == nil:
 		j.state = JobDone
 		j.result = data
 		s.met.JobsDone.Add(1)
+		op = opDone
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = JobCancelled
 		j.errMsg = err.Error()
 		s.met.JobsCancelled.Add(1)
+		op = opCancelled
 	default:
 		j.state = JobFailed
 		j.errMsg = err.Error()
 		s.met.JobsFailed.Add(1)
+		op = opFailed
 	}
 	delete(s.inflight, j.key)
 	close(j.done)
 	s.rememberFinishedLocked(j)
+	s.recordTerminal(op, j.id)
 	s.mu.Unlock()
 	s.met.JobsRunning.Add(-1)
-	if err != nil {
+	if err == nil {
+		// The result is durable (cache) — the intermediate recovery
+		// artifacts have served their purpose.
+		s.cleanupArtifacts(j.key)
+	} else {
 		s.logf("service: %s %s: %v", j.req.Kind, j.id, err)
 	}
 }
 
-// execute runs the simulation for one job under its context.
+// execute runs the simulation for one job under its context. Transient
+// failures (injected faults on the spawn and thermal-solve seams) are
+// retried with exponential backoff before the job is failed.
 func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	pol, err := hayat.ParsePolicy(j.req.Policy)
 	if err != nil {
@@ -546,14 +728,27 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	var buf bytes.Buffer
 	switch j.req.Kind {
 	case KindLifetime:
-		chip, err := sys.NewChip(j.req.Seed)
+		var chip *hayat.Chip
+		err := s.withRetries(ctx, j.id, func() error {
+			if ferr := faultinject.Hit(fpJobSpawn); ferr != nil {
+				return ferr
+			}
+			var cerr error
+			chip, cerr = sys.NewChip(j.req.Seed)
+			return cerr
+		})
 		if err != nil {
 			return nil, err
 		}
 		s.met.Setup.Observe(time.Since(setupStart))
 		simStart := time.Now()
 		s.met.SimRuns.Add(1)
-		res, err := chip.RunLifetimeContext(ctx, pol)
+		var res *hayat.LifetimeResult
+		err = s.withRetries(ctx, j.id, func() error {
+			var rerr error
+			res, rerr = s.runLifetime(ctx, j, chip, pol)
+			return rerr
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -564,11 +759,20 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 		}
 		s.met.Encode.Observe(time.Since(encStart))
 	case KindPopulation:
+		if err := s.withRetries(ctx, j.id, func() error { return faultinject.Hit(fpJobSpawn) }); err != nil {
+			return nil, err
+		}
 		s.met.Setup.Observe(time.Since(setupStart))
 		simStart := time.Now()
 		s.met.SimRuns.Add(1)
-		pr, err := sys.RunPopulationProgress(ctx, j.req.Seed, j.req.Chips, pol,
-			func(done, total int) { j.doneChips.raise(int64(done)) })
+		var pr *hayat.PopulationResult
+		err = s.withRetries(ctx, j.id, func() error {
+			var rerr error
+			pr, rerr = sys.RunPopulationResumable(ctx, j.req.Seed, j.req.Chips, pol,
+				func(done, total int) { j.doneChips.raise(int64(done)) },
+				s.chipStore(j.key))
+			return rerr
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -582,6 +786,184 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 		return nil, fmt.Errorf("service: unknown job kind %q", j.req.Kind)
 	}
 	return buf.Bytes(), nil
+}
+
+// withRetries runs fn under the server's retry policy, counting retries
+// and exhausted budgets.
+func (s *Server) withRetries(ctx context.Context, jobID string, fn func() error) error {
+	err := retryTransient(ctx, s.opts.Retry, s.jitter, func(attempt int, rerr error) {
+		s.met.Retries.Add(1)
+		s.logf("service: %s transient failure (attempt %d): %v; backing off", jobID, attempt, rerr)
+	}, fn)
+	if err != nil && isTransient(err) {
+		s.met.RetryExhausted.Add(1)
+	}
+	return err
+}
+
+// runLifetime runs one chip's lifetime with checkpointing when a
+// checkpoint directory is configured: an existing checkpoint for the
+// job's key resumes the run; checkpoints keep being persisted at the
+// configured cadence. A stale or corrupt checkpoint falls back to a
+// fresh run from epoch zero.
+func (s *Server) runLifetime(ctx context.Context, j *Job, chip *hayat.Chip, pol hayat.Policy) (*hayat.LifetimeResult, error) {
+	if s.opts.CheckpointDir == "" {
+		return chip.RunLifetimeContext(ctx, pol)
+	}
+	path := s.ckptPath(j.key)
+	sink := s.checkpointSink(path)
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		res, rerr := chip.ResumeLifetimeWithCheckpoints(ctx, pol, data, s.opts.CheckpointEvery, sink)
+		if rerr == nil {
+			s.met.CheckpointResumes.Add(1)
+			if ep, ok := checkpointEpoch(data); ok {
+				s.met.LastResumeEpoch.Store(int64(ep))
+			}
+			s.logf("service: %s resumed from checkpoint %s", j.id, filepath.Base(path))
+			return res, nil
+		}
+		// Transient (injected) failures and cancellations must reach the
+		// retry layer / caller; only a genuinely unusable checkpoint is
+		// discarded in favour of a fresh run.
+		if isTransient(rerr) || ctx.Err() != nil {
+			return nil, rerr
+		}
+		s.logf("service: %s checkpoint unusable (%v), restarting from epoch 0", j.id, rerr)
+	}
+	return chip.RunLifetimeWithCheckpoints(ctx, pol, s.opts.CheckpointEvery, sink)
+}
+
+// checkpointSink persists checkpoints best-effort through the checkpoint
+// breaker: a failed (or breaker-rejected) write is logged and counted but
+// never aborts the simulation — the run just retries at the next cadence
+// point with a fresher checkpoint.
+func (s *Server) checkpointSink(path string) hayat.CheckpointSink {
+	return func(nextEpoch int, data []byte) error {
+		err := s.ckptBrk.do(func() error {
+			if ferr := faultinject.Hit(fpCheckpointWrite); ferr != nil {
+				return ferr
+			}
+			return atomicWrite(path, data)
+		})
+		if err != nil {
+			s.met.CheckpointWriteErrors.Add(1)
+			s.logf("service: checkpoint at epoch %d: %v (simulation continues)", nextEpoch, err)
+			return nil
+		}
+		s.met.CheckpointWrites.Add(1)
+		return nil
+	}
+}
+
+// checkpointEpoch peeks at a serialised checkpoint's resume epoch.
+func checkpointEpoch(data []byte) (int, bool) {
+	var peek struct {
+		NextEpoch int `json:"next_epoch"`
+	}
+	if err := json.Unmarshal(data, &peek); err != nil {
+		return 0, false
+	}
+	return peek.NextEpoch, true
+}
+
+// ckptPath is the job key's checkpoint file.
+func (s *Server) ckptPath(key string) string {
+	return filepath.Join(s.opts.CheckpointDir, key+".ckpt")
+}
+
+// cleanupArtifacts removes a finished job's checkpoint and per-chip
+// result files (best-effort).
+func (s *Server) cleanupArtifacts(key string) {
+	if s.opts.CheckpointDir == "" || !validKey(key) {
+		return
+	}
+	os.Remove(s.ckptPath(key))
+	if matches, err := filepath.Glob(filepath.Join(s.opts.CheckpointDir, key+".chip-*.json")); err == nil {
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+}
+
+// chipStore returns the per-chip result store backing a population job's
+// resume, or nil when checkpointing is disabled.
+func (s *Server) chipStore(key string) hayat.ChipResultStore {
+	if s.opts.CheckpointDir == "" {
+		return nil
+	}
+	return &chipStore{s: s, key: key}
+}
+
+// chipStore persists each completed population chip as a CRC-framed
+// <key>.chip-<seed>.json so a recovered population job skips finished
+// chips. Writes go through the checkpoint breaker; corrupt files are
+// quarantined and recomputed.
+type chipStore struct {
+	s   *Server
+	key string
+}
+
+func (c *chipStore) path(seed int64) string {
+	return filepath.Join(c.s.opts.CheckpointDir, fmt.Sprintf("%s.chip-%d.json", c.key, seed))
+}
+
+func (c *chipStore) Load(seed int64) ([]byte, bool) {
+	raw, err := os.ReadFile(c.path(seed))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := persist.DecodeFrame(raw)
+	if err != nil {
+		if _, qerr := persist.Quarantine(c.path(seed)); qerr == nil {
+			c.s.met.Quarantined.Add(1)
+		}
+		return nil, false
+	}
+	c.s.met.ChipResultsReused.Add(1)
+	return payload, true
+}
+
+func (c *chipStore) Save(seed int64, data []byte) error {
+	err := c.s.ckptBrk.do(func() error {
+		if ferr := faultinject.Hit(fpCheckpointWrite); ferr != nil {
+			return ferr
+		}
+		return atomicWrite(c.path(seed), persist.EncodeFrame(data))
+	})
+	if err != nil {
+		c.s.met.CheckpointWriteErrors.Add(1)
+		c.s.logf("service: persisting chip %d result: %v", seed, err)
+		return nil // best-effort: the population run must not fail for this
+	}
+	c.s.met.CheckpointWrites.Add(1)
+	return nil
+}
+
+// atomicWrite publishes data at path via temp file + fsync + rename so a
+// crash can never leave a torn file behind.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(data)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+	}
+	return err
 }
 
 // system returns the (cached) System for a canonical config.

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"github.com/kit-ces/hayat/internal/dtm"
 )
@@ -73,24 +75,14 @@ func (cp *Checkpoint) Validate(e *Engine) error {
 	return nil
 }
 
-// RunCheckpoint runs epochs [0, uptoEpoch) and captures the state.
-// uptoEpoch must be a remix boundary (see Checkpoint).
-func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
-	st, err := e.newRunState()
-	if err != nil {
-		return nil, err
-	}
-	if uptoEpoch < 0 || uptoEpoch > e.Epochs() {
-		return nil, fmt.Errorf("sim: uptoEpoch %d outside [0,%d]", uptoEpoch, e.Epochs())
-	}
-	if err := e.runRange(context.Background(), st, 0, uptoEpoch); err != nil {
-		return nil, err
-	}
+// snapshot captures a checkpoint from a run state that has completed
+// epochs [0, nextEpoch).
+func (e *Engine) snapshot(st *runState, nextEpoch int) (*Checkpoint, error) {
 	cp := &Checkpoint{
 		Version:   checkpointVersion,
 		ChipSeed:  e.chip.Seed,
 		Policy:    e.pol.Name(),
-		NextEpoch: uptoEpoch,
+		NextEpoch: nextEpoch,
 		Temps:     append([]float64(nil), st.temps...),
 		LastUsed:  append([]int(nil), st.lastUsed...),
 		Records:   append([]EpochRecord(nil), st.records...),
@@ -103,6 +95,7 @@ func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
 		cp.PrevOn = append([]bool(nil), st.prevOn...)
 	}
 	stats := st.dtmMgr.Stats()
+	stats.Add(st.dtmBase)
 	cp.Migrations, cp.Throttles = stats.Migrations, stats.Throttles
 	if err := cp.Validate(e); err != nil {
 		return nil, err
@@ -110,15 +103,8 @@ func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
 	return cp, nil
 }
 
-// Resume continues a checkpointed run to the end of the lifetime and
-// returns the complete result (including the checkpointed epochs).
-func (e *Engine) Resume(cp *Checkpoint) (*Result, error) {
-	return e.ResumeContext(context.Background(), cp)
-}
-
-// ResumeContext is Resume with cooperative cancellation at epoch
-// boundaries (see RunContext).
-func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint) (*Result, error) {
+// restore builds the run state a validated checkpoint describes.
+func (e *Engine) restore(cp *Checkpoint) (*runState, error) {
 	if err := cp.Validate(e); err != nil {
 		return nil, err
 	}
@@ -136,12 +122,103 @@ func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint) (*Result, er
 		st.prevOn = append([]bool(nil), cp.PrevOn...)
 	}
 	st.records = append([]EpochRecord(nil), cp.Records...)
-	if err := e.runRange(ctx, st, cp.NextEpoch, e.Epochs()); err != nil {
+	st.dtmBase = dtm.Stats{Migrations: cp.Migrations, Throttles: cp.Throttles}
+	return st, nil
+}
+
+// RunCheckpoint runs epochs [0, uptoEpoch) and captures the state.
+// uptoEpoch must be a remix boundary (see Checkpoint).
+func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
+	st, err := e.newRunState()
+	if err != nil {
 		return nil, err
 	}
-	res := e.packageResult(st)
-	res.TotalDTM.Add(dtm.Stats{Migrations: cp.Migrations, Throttles: cp.Throttles})
-	return res, nil
+	if uptoEpoch < 0 || uptoEpoch > e.Epochs() {
+		return nil, fmt.Errorf("sim: uptoEpoch %d outside [0,%d]", uptoEpoch, e.Epochs())
+	}
+	if err := e.runRange(context.Background(), st, 0, uptoEpoch); err != nil {
+		return nil, err
+	}
+	return e.snapshot(st, uptoEpoch)
+}
+
+// Resume continues a checkpointed run to the end of the lifetime and
+// returns the complete result (including the checkpointed epochs).
+func (e *Engine) Resume(cp *Checkpoint) (*Result, error) {
+	return e.ResumeContext(context.Background(), cp)
+}
+
+// ResumeContext is Resume with cooperative cancellation at epoch
+// boundaries (see RunContext).
+func (e *Engine) ResumeContext(ctx context.Context, cp *Checkpoint) (*Result, error) {
+	return e.ResumeContextCheckpointed(ctx, cp, 0, nil)
+}
+
+// CheckpointSink receives periodic checkpoints during a run. A non-nil
+// error aborts the run; sinks that persist best-effort should swallow
+// their own failures and return nil.
+type CheckpointSink func(cp *Checkpoint) error
+
+// RunContextCheckpointed is RunContext with periodic checkpointing: sink
+// is invoked at every workload-remix boundary that is a multiple of
+// `every` epochs (every ≤ RemixEpochs means every remix boundary). With a
+// nil sink, or on configurations without remix boundaries
+// (RemixEpochs = 0), it degrades to RunContext.
+func (e *Engine) RunContextCheckpointed(ctx context.Context, every int, sink CheckpointSink) (*Result, error) {
+	st, err := e.newRunState()
+	if err != nil {
+		return nil, err
+	}
+	return e.runCheckpointed(ctx, st, 0, every, sink)
+}
+
+// ResumeContextCheckpointed continues a checkpointed run with the same
+// periodic checkpointing as RunContextCheckpointed, so a run interrupted
+// repeatedly keeps moving forward from its most recent boundary.
+func (e *Engine) ResumeContextCheckpointed(ctx context.Context, cp *Checkpoint, every int, sink CheckpointSink) (*Result, error) {
+	st, err := e.restore(cp)
+	if err != nil {
+		return nil, err
+	}
+	return e.runCheckpointed(ctx, st, cp.NextEpoch, every, sink)
+}
+
+// runCheckpointed executes epochs [from, Epochs) in checkpoint-cadence
+// chunks, invoking sink between chunks.
+func (e *Engine) runCheckpointed(ctx context.Context, st *runState, from, every int, sink CheckpointSink) (*Result, error) {
+	total := e.Epochs()
+	if sink == nil || e.cfg.RemixEpochs <= 0 {
+		if err := e.runRange(ctx, st, from, total); err != nil {
+			return nil, err
+		}
+		return e.packageResult(st), nil
+	}
+	stride := e.cfg.RemixEpochs
+	if every > stride {
+		// Round the cadence up to a multiple of the remix interval:
+		// checkpoints are only valid on remix boundaries.
+		stride = (every + e.cfg.RemixEpochs - 1) / e.cfg.RemixEpochs * e.cfg.RemixEpochs
+	}
+	for at := from; at < total; {
+		next := at - at%stride + stride
+		if next > total {
+			next = total
+		}
+		if err := e.runRange(ctx, st, at, next); err != nil {
+			return nil, err
+		}
+		at = next
+		if at < total && at%e.cfg.RemixEpochs == 0 {
+			cp, err := e.snapshot(st, at)
+			if err != nil {
+				return nil, err
+			}
+			if err := sink(cp); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint sink at epoch %d: %w", at, err)
+			}
+		}
+	}
+	return e.packageResult(st), nil
 }
 
 // WriteCheckpoint serialises the checkpoint as indented JSON.
@@ -159,4 +236,45 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
 	}
 	return &cp, nil
+}
+
+// WriteCheckpointFile persists the checkpoint atomically: the JSON is
+// written to a temporary file in the target directory and renamed into
+// place, so a crash mid-write can never leave a torn checkpoint where a
+// reader expects a valid one.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint temp file: %w", err)
+	}
+	err = WriteCheckpoint(tmp, cp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("sim: writing checkpoint: %w", cerr)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile reads a checkpoint written by WriteCheckpointFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
 }

@@ -2,6 +2,9 @@ package sim
 
 import (
 	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -126,5 +129,130 @@ func TestCheckpointUnsupportedWithoutRemix(t *testing.T) {
 func TestReadCheckpointGarbage(t *testing.T) {
 	if _, err := ReadCheckpoint(bytes.NewReader([]byte("nope"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// A checkpointed run must call the sink at every eligible boundary and
+// still produce the exact one-shot result; resuming from any of the
+// emitted checkpoints must too.
+func TestRunCheckpointedCadenceAndResume(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Years = cfg.EpochYears * 8 // 8 epochs
+	cfg.RemixEpochs = 2            // boundaries at 2, 4, 6
+	mkEngine := func() *Engine { return newEngine(t, cfg, hayatPolicy(t), 21) }
+
+	full, err := mkEngine().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cps []*Checkpoint
+	res, err := mkEngine().RunContextCheckpointed(context.Background(), 0, func(cp *Checkpoint) error {
+		cps = append(cps, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 3 {
+		t.Fatalf("sink called %d times, want 3 (epochs 2,4,6)", len(cps))
+	}
+	for i, want := range []int{2, 4, 6} {
+		if cps[i].NextEpoch != want {
+			t.Fatalf("checkpoint %d at epoch %d, want %d", i, cps[i].NextEpoch, want)
+		}
+	}
+	if res.TotalDTM != full.TotalDTM || len(res.Records) != len(full.Records) {
+		t.Fatalf("checkpointed run diverged from one-shot: %+v vs %+v", res.TotalDTM, full.TotalDTM)
+	}
+	for i := range full.Records {
+		if res.Records[i] != full.Records[i] {
+			t.Fatalf("epoch %d differs under checkpointing", i)
+		}
+	}
+
+	// every=3 rounds up to a multiple of RemixEpochs (4): only epoch 4.
+	count := 0
+	if _, err := mkEngine().RunContextCheckpointed(context.Background(), 3, func(*Checkpoint) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("every=3 (rounded to 4) called sink %d times, want 1", count)
+	}
+
+	// Resume from the middle checkpoint, with further checkpointing, and
+	// require the exact one-shot result including carried DTM totals.
+	var lateCps []*Checkpoint
+	resumed, err := mkEngine().ResumeContextCheckpointed(context.Background(), cps[1], 0, func(cp *Checkpoint) error {
+		lateCps = append(lateCps, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lateCps) != 1 || lateCps[0].NextEpoch != 6 {
+		t.Fatalf("resume sink saw %d checkpoints, want one at epoch 6", len(lateCps))
+	}
+	for i := range full.Records {
+		if resumed.Records[i] != full.Records[i] {
+			t.Fatalf("resumed epoch %d differs from one-shot", i)
+		}
+	}
+	if resumed.TotalDTM != full.TotalDTM {
+		t.Fatalf("resumed DTM totals %+v, want %+v", resumed.TotalDTM, full.TotalDTM)
+	}
+	// The mid-resume checkpoint must itself resume to the same end state.
+	again, err := mkEngine().Resume(lateCps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.FinalHealth {
+		if again.FinalHealth[i] != full.FinalHealth[i] {
+			t.Fatalf("second-generation resume diverged at core %d", i)
+		}
+	}
+}
+
+func TestWriteCheckpointFileAtomic(t *testing.T) {
+	cfg := shortConfig()
+	cfg.RemixEpochs = 2
+	e := newEngine(t, cfg, vaaPolicy(t), 23)
+	cp, err := e.RunCheckpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings next to the published file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		t.Fatalf("directory not clean after atomic write: %v", entries)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextEpoch != cp.NextEpoch || got.ChipSeed != cp.ChipSeed || len(got.Records) != len(cp.Records) {
+		t.Fatalf("file round trip mangled checkpoint: %+v", got)
+	}
+	// Overwrite must also be atomic (rename over the existing file).
+	if err := WriteCheckpointFile(path, cp); err != nil {
+		t.Fatalf("atomic overwrite failed: %v", err)
+	}
+	// Writing into a missing directory fails without leaving anything.
+	if err := WriteCheckpointFile(filepath.Join(dir, "no-such-dir", "x.ckpt"), cp); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	if _, err := ReadCheckpointFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("reading a missing checkpoint succeeded")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/kit-ces/hayat/internal/aging"
 	"github.com/kit-ces/hayat/internal/dtm"
 	"github.com/kit-ces/hayat/internal/dvfs"
+	"github.com/kit-ces/hayat/internal/faultinject"
 	"github.com/kit-ces/hayat/internal/mapping"
 	"github.com/kit-ces/hayat/internal/policy"
 	"github.com/kit-ces/hayat/internal/power"
@@ -266,6 +267,9 @@ type runState struct {
 	dtmMgr   *dtm.Manager
 	tr       *thermal.Transient
 	mix      *workload.Mix
+	// dtmBase carries DTM totals accumulated before a checkpoint restore
+	// (the manager itself restarts from zero on resume).
+	dtmBase dtm.Stats
 }
 
 // newRunState builds the epoch-0 state.
@@ -398,7 +402,12 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 			adaptParallelism(mix, asg, len(mres.Unmapped), maxOn, cfg.MixSeed+int64(ep))
 		}
 
-		// Fine-grained transient window.
+		// Fine-grained transient window. The failpoint stands in for a
+		// transient solver/sensor fault; the service's retry layer treats
+		// the injected error as retryable.
+		if ferr := faultinject.Hit("sim.thermal-solve"); ferr != nil {
+			return fmt.Errorf("sim: thermal window at epoch %d: %w", ep, ferr)
+		}
 		rec := e.runWindow(ep, asg, mix, fmax, temps, dtmMgr, tr)
 
 		// Requirement violations are judged against the TRUE fmax the
@@ -470,6 +479,7 @@ func (e *Engine) packageResult(st *runState) *Result {
 	}
 	res.FinalTemps = append([]float64(nil), st.temps...)
 	res.TotalDTM = st.dtmMgr.Stats()
+	res.TotalDTM.Add(st.dtmBase)
 	return res
 }
 

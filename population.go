@@ -2,6 +2,7 @@ package hayat
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -65,6 +66,26 @@ func (s *System) RunPopulationContext(ctx context.Context, baseSeed int64, chips
 // called concurrently from worker goroutines; the done count is
 // monotonically increasing across calls. A nil progress is allowed.
 func (s *System) RunPopulationProgress(ctx context.Context, baseSeed int64, chips int, p Policy, progress func(done, total int)) (*PopulationResult, error) {
+	return s.RunPopulationResumable(ctx, baseSeed, chips, p, progress, nil)
+}
+
+// ChipResultStore persists per-chip lifetime results so an interrupted
+// population run can resume without recomputing finished chips: Save is
+// called with each completed chip's serialised result, Load is consulted
+// before a chip is simulated. The stored blob is the chip's raw result
+// JSON; it round-trips exactly, so a resumed population is byte-identical
+// to an uninterrupted one. Implementations may be best-effort (a Load
+// miss or swallowed Save just costs recomputation) but must be safe for
+// concurrent use.
+type ChipResultStore interface {
+	Load(seed int64) ([]byte, bool)
+	Save(seed int64, data []byte) error
+}
+
+// RunPopulationResumable is RunPopulationProgress with an optional
+// ChipResultStore: chips whose results the store already holds are
+// restored instead of simulated. A nil store disables persistence.
+func (s *System) RunPopulationResumable(ctx context.Context, baseSeed int64, chips int, p Policy, progress func(done, total int), store ChipResultStore) (*PopulationResult, error) {
 	if chips <= 0 {
 		return nil, fmt.Errorf("hayat: population size must be positive, got %d", chips)
 	}
@@ -101,7 +122,15 @@ func (s *System) RunPopulationProgress(ctx context.Context, baseSeed int64, chip
 				if runCtx.Err() != nil {
 					continue // aborted: drain the queue without simulating
 				}
-				chip, err := s.NewChip(baseSeed + int64(i))
+				seed := baseSeed + int64(i)
+				if res, ok := loadChipResult(store, seed, p); ok {
+					results[i] = res
+					if progress != nil {
+						progress(int(doneCount.Add(1)), chips)
+					}
+					continue
+				}
+				chip, err := s.NewChip(seed)
 				if err != nil {
 					fail(err)
 					continue
@@ -111,6 +140,7 @@ func (s *System) RunPopulationProgress(ctx context.Context, baseSeed int64, chip
 					fail(err)
 					continue
 				}
+				saveChipResult(store, seed, res)
 				results[i] = res
 				if progress != nil {
 					progress(int(doneCount.Add(1)), chips)
@@ -152,6 +182,39 @@ feed:
 	pr.Years = append([]float64(nil), sum.Years...)
 	pr.AvgFMaxSeries = append([]float64(nil), sum.AvgFMaxSeries...)
 	return pr, nil
+}
+
+// loadChipResult restores a persisted chip result, rejecting blobs whose
+// seed or policy disagree (a stale store never corrupts the population).
+func loadChipResult(store ChipResultStore, seed int64, p Policy) (*LifetimeResult, bool) {
+	if store == nil {
+		return nil, false
+	}
+	data, ok := store.Load(seed)
+	if !ok {
+		return nil, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	if res.ChipSeed != seed || res.Policy != p.String() || len(res.Records) == 0 {
+		return nil, false
+	}
+	return wrapResult(&res), true
+}
+
+// saveChipResult persists a finished chip result; failures are dropped
+// (the store is an optimisation, not a correctness dependency).
+func saveChipResult(store ChipResultStore, seed int64, res *LifetimeResult) {
+	if store == nil {
+		return
+	}
+	data, err := json.Marshal(res.res)
+	if err != nil {
+		return
+	}
+	_ = store.Save(seed, data)
 }
 
 // Comparison holds Hayat-vs-baseline ratios; values below 1 favour Hayat
