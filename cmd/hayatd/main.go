@@ -8,7 +8,8 @@
 //
 //	hayatd [-addr :8080] [-workers N] [-queue N] [-data DIR] [-drain 30s]
 //	       [-journal FILE] [-checkpoints DIR] [-checkpoint-every N]
-//	       [-failpoints SPECS]
+//	       [-failpoints SPECS] [-max-client-rps R] [-default-deadline D]
+//	       [-shed-start F]
 //
 // With -journal, accepted jobs are write-ahead journalled and re-enqueued
 // (under their original IDs) after a crash; with -checkpoints, recovered
@@ -49,6 +50,9 @@ func main() {
 		ckptDir    = flag.String("checkpoints", "", "directory for job checkpoints (empty: recovered jobs restart)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in epochs (0: every workload-remix boundary)")
 		failpoints = flag.String("failpoints", "", "arm failpoints, e.g. service.cache-read=prob(0.1) (also HAYAT_FAILPOINTS)")
+		maxRPS     = flag.Float64("max-client-rps", 0, "per-client token-bucket rate limit on work-creating submits (0: unlimited)")
+		defaultDL  = flag.Duration("default-deadline", 0, "deadline applied to jobs that submit without one (0: unbounded)")
+		shedStart  = flag.Float64("shed-start", 0.75, "queue-occupancy fraction where cost-aware shedding begins")
 		// Write timeout must cover wait=true long-polls, which block for a
 		// whole simulation.
 		waitBudget = flag.Duration("wait-budget", 15*time.Minute, "HTTP write timeout (bounds wait=true long-polls)")
@@ -76,6 +80,9 @@ func main() {
 		JournalPath:     *journal,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		MaxClientRPS:    *maxRPS,
+		DefaultDeadline: *defaultDL,
+		ShedStart:       *shedStart,
 		Logf:            log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,30 @@
+package hayat
+
+import "testing"
+
+// FuzzParsePolicy throws arbitrary strings at the policy parser: it must
+// never panic, and any accepted policy must round-trip through its
+// canonical String() spelling (the service uses that spelling as part of
+// the cache key, so the round-trip is a correctness property, not just
+// hygiene).
+func FuzzParsePolicy(f *testing.F) {
+	f.Add("hayat")
+	f.Add("VAA")
+	f.Add("  Hayat \t")
+	f.Add("")
+	f.Add("greedy")
+	f.Add("hayat\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		again, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("canonical spelling %q of accepted policy does not reparse: %v", p, err)
+		}
+		if again != p {
+			t.Fatalf("round-trip changed policy: %v → %v", p, again)
+		}
+	})
+}

@@ -13,8 +13,11 @@ type GaussSeidelResult struct {
 // It requires non-zero diagonal entries and converges for the (strictly
 // diagonally dominant) conductance matrices produced by the thermal model.
 // x is used as the starting guess. Iteration stops when the max-norm
-// update falls below tol or after maxIter sweeps.
-func GaussSeidel(a *Matrix, x, b []float64, tol float64, maxIter int) GaussSeidelResult {
+// update falls below tol or after maxIter sweeps. A NaN or infinite
+// update (zero diagonal, poisoned input, divergent iteration) aborts the
+// sweep with ErrNonFinite instead of letting the non-finite values spread
+// through x.
+func GaussSeidel(a *Matrix, x, b []float64, tol float64, maxIter int) (GaussSeidelResult, error) {
 	if a.Rows != a.Cols || len(x) != a.Rows || len(b) != a.Rows {
 		panic("numeric: GaussSeidel dimension mismatch")
 	}
@@ -31,6 +34,11 @@ func GaussSeidel(a *Matrix, x, b []float64, tol float64, maxIter int) GaussSeide
 				}
 			}
 			nx := s / row[i]
+			if math.IsNaN(nx) || math.IsInf(nx, 0) {
+				res.Iterations = it + 1
+				res.Residual = math.NaN()
+				return res, ErrNonFinite
+			}
 			if d := math.Abs(nx - x[i]); d > maxDelta {
 				maxDelta = d
 			}
@@ -53,7 +61,7 @@ func GaussSeidel(a *Matrix, x, b []float64, tol float64, maxIter int) GaussSeide
 			res.Residual = r
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Dot returns the dot product of a and b.

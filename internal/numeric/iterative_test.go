@@ -20,7 +20,10 @@ func TestGaussSeidelMatchesLU(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := make([]float64, n)
-	res := GaussSeidel(a, x, b, 1e-12, 10000)
+	res, gerr := GaussSeidel(a, x, b, 1e-12, 10000)
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
 	if !res.Converged {
 		t.Fatalf("Gauss–Seidel did not converge: %+v", res)
 	}
@@ -34,7 +37,10 @@ func TestGaussSeidelMatchesLU(t *testing.T) {
 func TestGaussSeidelReportsResidual(t *testing.T) {
 	a := NewMatrixFrom([][]float64{{4, 1}, {1, 3}})
 	x := make([]float64, 2)
-	res := GaussSeidel(a, x, []float64{1, 2}, 1e-14, 1000)
+	res, err := GaussSeidel(a, x, []float64{1, 2}, 1e-14, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Converged {
 		t.Fatal("should converge on a 2×2 SPD system")
 	}
@@ -48,7 +54,10 @@ func TestGaussSeidelIterationLimit(t *testing.T) {
 	a := randomDiagDominant(rng, 10)
 	x := make([]float64, 10)
 	b := Fill(make([]float64, 10), 1)
-	res := GaussSeidel(a, x, b, 0 /* unattainable */, 3)
+	res, err := GaussSeidel(a, x, b, 0 /* unattainable */, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Converged {
 		t.Fatal("tol=0 must not report convergence")
 	}
@@ -116,7 +125,10 @@ func TestGaussSeidelAgreesWithLUProperty(t *testing.T) {
 			return false
 		}
 		x := make([]float64, n)
-		res := GaussSeidel(a, x, b, 1e-13, 20000)
+		res, gerr := GaussSeidel(a, x, b, 1e-13, 20000)
+		if gerr != nil {
+			return false
+		}
 		if !res.Converged {
 			return false
 		}

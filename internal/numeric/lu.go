@@ -14,10 +14,15 @@ type LU struct {
 }
 
 // FactorLU computes the pivoted LU factorisation of a. The input is not
-// modified. FactorLU returns ErrSingular if a pivot underflows.
+// modified. FactorLU returns ErrSingular if a pivot underflows and
+// ErrNonFinite if the input contains (or elimination produces) a NaN or
+// infinite value.
 func FactorLU(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
 		panic("numeric: FactorLU requires a square matrix")
+	}
+	if !AllFinite(a.Data) {
+		return nil, ErrNonFinite
 	}
 	n := a.Rows
 	f := &LU{n: n, lu: a.Clone(), piv: make([]int, n), sign: 1}
@@ -33,6 +38,11 @@ func FactorLU(a *Matrix) (*LU, error) {
 			if v := math.Abs(lu.At(i, k)); v > maxv {
 				maxv, p = v, i
 			}
+		}
+		if math.IsNaN(maxv) || math.IsInf(maxv, 0) {
+			// Elimination overflowed: the factorisation is garbage even
+			// though the input was finite.
+			return nil, ErrNonFinite
 		}
 		if maxv < 1e-300 {
 			return nil, ErrSingular
@@ -58,7 +68,28 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
+	// The pivot scan only inspects one column per step, so an overflow in
+	// a row it never pivots on could slip through; a final sweep is cheap
+	// against the O(n³) factorisation.
+	if !AllFinite(lu.Data) {
+		return nil, ErrNonFinite
+	}
 	return f, nil
+}
+
+// SolveChecked is Solve with a non-finite guard: it solves A·x = b into
+// dst and returns ErrNonFinite when b or the computed solution contains a
+// NaN or infinite value (e.g. a right-hand side already poisoned upstream,
+// or catastrophic growth in the back substitution).
+func (f *LU) SolveChecked(dst, b []float64) error {
+	if !AllFinite(b) {
+		return ErrNonFinite
+	}
+	f.Solve(dst, b)
+	if !AllFinite(dst) {
+		return ErrNonFinite
+	}
+	return nil
 }
 
 // Solve solves A·x = b, writing the solution into dst (which may alias b).

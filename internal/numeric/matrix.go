@@ -146,3 +146,19 @@ var ErrSingular = errors.New("numeric: matrix is singular to working precision")
 // ErrNotSPD is returned by Cholesky when the input is not symmetric
 // positive definite.
 var ErrNotSPD = errors.New("numeric: matrix is not symmetric positive definite")
+
+// ErrNonFinite is returned when a factorisation or solve encounters (or
+// would produce) a NaN or infinite value. Catching it at the solver
+// boundary keeps non-finite temperatures out of the aging tables, where
+// they would silently poison every downstream lifetime statistic.
+var ErrNonFinite = errors.New("numeric: non-finite value encountered")
+
+// AllFinite reports whether every element of v is finite (no NaN, no ±Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

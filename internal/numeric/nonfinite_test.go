@@ -1,0 +1,62 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFactorLURejectsNonFinite(t *testing.T) {
+	for name, v := range map[string]float64{"NaN": math.NaN(), "+Inf": math.Inf(1), "-Inf": math.Inf(-1)} {
+		a := NewMatrixFrom([][]float64{{4, 1, 0}, {1, v, 1}, {0, 1, 3}})
+		if _, err := FactorLU(a); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s input: FactorLU err = %v, want ErrNonFinite", name, err)
+		}
+	}
+}
+
+func TestLUSolveCheckedRejectsPoisonedRHS(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{4, 1}, {1, 3}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	if err := f.SolveChecked(x, []float64{1, math.NaN()}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN rhs: err = %v, want ErrNonFinite", err)
+	}
+	if err := f.SolveChecked(x, []float64{1, 2}); err != nil {
+		t.Fatalf("finite rhs: %v", err)
+	}
+	if !AllFinite(x) {
+		t.Fatal("finite solve produced non-finite solution")
+	}
+}
+
+func TestGaussSeidelRejectsNonFinite(t *testing.T) {
+	// A zero diagonal divides by zero on the first sweep.
+	a := NewMatrixFrom([][]float64{{0, 1}, {1, 3}})
+	x := make([]float64, 2)
+	if _, err := GaussSeidel(a, x, []float64{1, 2}, 1e-12, 100); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("zero diagonal: err = %v, want ErrNonFinite", err)
+	}
+	// A poisoned right-hand side must abort rather than spread NaN.
+	b := []float64{math.NaN(), 2}
+	a2 := NewMatrixFrom([][]float64{{4, 1}, {1, 3}})
+	x2 := make([]float64, 2)
+	if _, err := GaussSeidel(a2, x2, b, 1e-12, 100); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN rhs: err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{0, -1, 1e300}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{0, math.NaN()}) || AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("non-finite slice reported finite")
+	}
+	if !AllFinite(nil) {
+		t.Fatal("empty slice should be finite")
+	}
+}

@@ -1,0 +1,61 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes to the buffer-frame decoder: it
+// must accept or reject cleanly, never panic, and an accepted payload
+// must round-trip byte-identically through EncodeFrame.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add(EncodeFrame([]byte(`{"hello":"world"}`)))
+	f.Add(EncodeFrame(nil))
+	f.Add([]byte("hayatf1 00000000 0\n"))
+	f.Add([]byte("hayatf1 deadbeef 5\nab"))
+	f.Add([]byte("hayatf1 zzzzzzzz 3\nabc"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeFrame(EncodeFrame(payload))
+		if err != nil {
+			t.Fatalf("re-encoded accepted payload fails decode: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("frame round-trip changed payload: %q → %q", payload, again)
+		}
+	})
+}
+
+// FuzzDecodeFrameLine likewise for journal line frames.
+func FuzzDecodeFrameLine(f *testing.F) {
+	if line, err := EncodeFrameLine([]byte(`{"op":"submit","id":"job-000001"}`)); err == nil {
+		f.Add(line)
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("hayatf1 00000000 "))
+	f.Add([]byte("hayatf1 0000000g x"))
+	f.Add([]byte("hayatf1  doublespace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeFrameLine(data)
+		if err != nil {
+			return
+		}
+		line, err := EncodeFrameLine(payload)
+		if err != nil {
+			// Accepted payloads come from a single line, so they cannot
+			// contain a newline.
+			t.Fatalf("accepted line payload refuses re-encode: %v", err)
+		}
+		again, err := DecodeFrameLine(line)
+		if err != nil {
+			t.Fatalf("re-encoded accepted payload fails decode: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("line round-trip changed payload: %q → %q", payload, again)
+		}
+	})
+}

@@ -106,6 +106,14 @@ func (b *breaker) report(ok bool) {
 	}
 }
 
+// isOpen reports whether the breaker is currently rejecting calls (open
+// and still inside its cooldown) without mutating the state machine.
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && time.Since(b.openedAt) < b.cooldown
+}
+
 // do runs fn through the breaker: short-circuits with ErrBreakerOpen when
 // open, otherwise executes fn and feeds its outcome back.
 func (b *breaker) do(fn func() error) error {

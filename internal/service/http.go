@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"github.com/kit-ces/hayat"
 )
@@ -20,15 +22,32 @@ type LifetimeRequest struct {
 	Seed   int64           `json:"seed"`
 	Policy string          `json:"policy"`
 	Wait   bool            `json:"wait,omitempty"`
+	// Client is the fairness identity for rate limiting and weighted
+	// round-robin scheduling (empty: "default").
+	Client string `json:"client,omitempty"`
+	// DeadlineMS bounds queue wait plus simulation in milliseconds; a job
+	// past its deadline is evicted (queued) or cancelled (running).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// QueueTTLMS bounds only the queue wait: an expired job never reaches
+	// a worker.
+	QueueTTLMS int64 `json:"queue_ttl_ms,omitempty"`
+	// DegradedOK accepts a fast analytic estimate (response carries
+	// "degraded": true) instead of a 429 when the service sheds load.
+	DegradedOK bool `json:"degraded_ok,omitempty"`
 }
 
-// PopulationRequest is the body of POST /v1/population.
+// PopulationRequest is the body of POST /v1/population. Population jobs
+// support the same admission fields except DegradedOK (a sampled analytic
+// estimate is not a population statistic).
 type PopulationRequest struct {
-	Config   json.RawMessage `json:"config,omitempty"`
-	BaseSeed int64           `json:"base_seed"`
-	Chips    int             `json:"chips"`
-	Policy   string          `json:"policy"`
-	Wait     bool            `json:"wait,omitempty"`
+	Config     json.RawMessage `json:"config,omitempty"`
+	BaseSeed   int64           `json:"base_seed"`
+	Chips      int             `json:"chips"`
+	Policy     string          `json:"policy"`
+	Wait       bool            `json:"wait,omitempty"`
+	Client     string          `json:"client,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	QueueTTLMS int64           `json:"queue_ttl_ms,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -89,7 +108,12 @@ func (s *Server) handleLifetime(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.SubmitLifetime(cfg, req.Seed, req.Policy)
+	st, err := s.SubmitLifetimeWith(cfg, req.Seed, req.Policy, SubmitOpts{
+		Client:     req.Client,
+		Deadline:   time.Duration(req.DeadlineMS) * time.Millisecond,
+		QueueTTL:   time.Duration(req.QueueTTLMS) * time.Millisecond,
+		DegradedOK: req.DegradedOK,
+	})
 	s.respondSubmit(w, r, st, err, req.Wait)
 }
 
@@ -103,18 +127,34 @@ func (s *Server) handlePopulation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.SubmitPopulation(cfg, req.BaseSeed, req.Chips, req.Policy)
+	st, err := s.SubmitPopulationWith(cfg, req.BaseSeed, req.Chips, req.Policy, SubmitOpts{
+		Client:   req.Client,
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+		QueueTTL: time.Duration(req.QueueTTLMS) * time.Millisecond,
+	})
 	s.respondSubmit(w, r, st, err, req.Wait)
 }
 
-// respondSubmit renders a submit outcome: 400 for invalid requests, 503
-// when draining or saturated, 200 for a cache hit or finished wait, and
-// 202 for an accepted asynchronous job.
+// drainingRetryAfter is the Retry-After hint on 503s while draining: the
+// client should give a replacement instance time to come up.
+const drainingRetryAfter = 10 // seconds
+
+// respondSubmit renders a submit outcome: 400 for invalid requests, 503 +
+// Retry-After while draining (the server is going away — retry against
+// its successor), 429 + Retry-After for per-client rate limiting and for
+// load shedding (queue full or cost-shed: the server is alive but wants
+// this client to back off), 200 for a cache hit or finished wait, and 202
+// for an accepted asynchronous job.
 func (s *Server) respondSubmit(w http.ResponseWriter, r *http.Request, st JobStatus, err error, wait bool) {
 	switch {
 	case err == nil:
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(drainingRetryAfter))
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShedLoad), errors.Is(err, ErrRateLimited):
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(err, 5)))
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, err)
@@ -175,6 +215,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Artifacts.Platforms = as.Platforms
 	snap.Artifacts.Predictors = as.Predictors
 	snap.Artifacts.AgingTables = as.AgingTables
+	snap.Admission.Pressure = s.Pressure()
+	snap.Admission.ClientDepths = s.ClientDepths()
 	snap.Breakers = s.Breakers()
 	snap.Failpoints = s.Failpoints()
 	writeJSON(w, http.StatusOK, snap)

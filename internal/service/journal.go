@@ -29,20 +29,45 @@ const (
 // have accumulated, bounding file growth under steady job churn.
 const journalCompactEvery = 256
 
-// journalRecord is one JSONL journal line (CRC-framed on disk).
+// journalRecord is one JSONL journal line (CRC-framed on disk). Client
+// and the absolute deadlines (unix milliseconds; zero when unset) let a
+// restart restore the job's fairness identity and expiry — a job whose
+// deadline passed during the outage is evicted, not run.
 type journalRecord struct {
-	Op  string    `json:"op"`
-	ID  string    `json:"id"`
-	Key string    `json:"key,omitempty"`
-	Req *request  `json:"req,omitempty"`
-	At  time.Time `json:"at"`
+	Op         string    `json:"op"`
+	ID         string    `json:"id"`
+	Key        string    `json:"key,omitempty"`
+	Req        *request  `json:"req,omitempty"`
+	Client     string    `json:"client,omitempty"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+	QueueTTLMS int64     `json:"queue_ttl_ms,omitempty"`
+	At         time.Time `json:"at"`
 }
 
 // journalEntry is a job reconstructed from the journal at startup.
 type journalEntry struct {
-	ID  string
-	Key string
-	Req request
+	ID            string
+	Key           string
+	Req           request
+	Client        string
+	Deadline      time.Time // zero when the job had none
+	QueueDeadline time.Time
+}
+
+// msToTime converts unix milliseconds to a time, mapping 0 to the zero time.
+func msToTime(ms int64) time.Time {
+	if ms == 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(ms)
+}
+
+// timeToMS converts a time to unix milliseconds, mapping zero to 0.
+func timeToMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
 }
 
 // journal is hayatd's write-ahead job log: an append-only JSONL file whose
@@ -116,7 +141,14 @@ func openJournal(path string) (*journal, []journalEntry, int, error) {
 		if !ok {
 			continue
 		}
-		pending = append(pending, journalEntry{ID: rec.ID, Key: rec.Key, Req: *rec.Req})
+		pending = append(pending, journalEntry{
+			ID:            rec.ID,
+			Key:           rec.Key,
+			Req:           *rec.Req,
+			Client:        rec.Client,
+			Deadline:      msToTime(rec.DeadlineMS),
+			QueueDeadline: msToTime(rec.QueueTTLMS),
+		})
 	}
 
 	// Start from a compacted file: only live submits survive the rewrite,
@@ -130,10 +162,25 @@ func openJournal(path string) (*journal, []journalEntry, int, error) {
 // submitted durably records an accepted job before the submit is
 // acknowledged: the record is framed, appended and fsynced.
 func (j *journal) submitted(id, key string, req request) error {
+	return j.submittedWith(id, key, req, "", time.Time{}, time.Time{})
+}
+
+// submittedWith is submitted carrying the job's admission metadata so a
+// restart restores its client identity and deadlines.
+func (j *journal) submittedWith(id, key string, req request, client string, deadline, queueDeadline time.Time) error {
 	if j == nil {
 		return nil
 	}
-	rec := journalRecord{Op: opSubmit, ID: id, Key: key, Req: &req, At: time.Now().UTC()}
+	rec := journalRecord{
+		Op:         opSubmit,
+		ID:         id,
+		Key:        key,
+		Req:        &req,
+		Client:     client,
+		DeadlineMS: timeToMS(deadline),
+		QueueTTLMS: timeToMS(queueDeadline),
+		At:         time.Now().UTC(),
+	}
 	return j.append(rec, true)
 }
 

@@ -120,11 +120,18 @@ type Metrics struct {
 	JournalCorrupt        Counter // corrupt journal lines skipped at replay
 	ChipResultsReused     Counter // population chips restored instead of re-simulated
 
+	// Admission-control outcomes.
+	JobsShed     Counter // rejected by cost-aware shedding (429)
+	JobsEvicted  Counter // expired in the queue, never executed
+	JobsDegraded Counter // answered with the fast analytic estimate
+	RateLimited  Counter // rejected by a client token bucket (429)
+
 	// Per-stage latency histograms.
 	QueueWait Histogram // submit → worker pickup
 	Setup     Histogram // system + chip construction
 	Simulate  Histogram // engine run
 	Encode    Histogram // result serialisation
+	Admission Histogram // submit entry → admission decision
 }
 
 // MetricsSnapshot is the JSON shape served on /metrics.
@@ -161,6 +168,16 @@ type MetricsSnapshot struct {
 		JournalCorrupt        int64 `json:"journal_corrupt"`
 		ChipResultsReused     int64 `json:"chip_results_reused"`
 	} `json:"reliability"`
+	Admission struct {
+		Shed        int64 `json:"shed"`
+		Evicted     int64 `json:"evicted"`
+		Degraded    int64 `json:"degraded"`
+		RateLimited int64 `json:"rate_limited"`
+		// Pressure and ClientDepths are filled in by the server (they are
+		// live admission state, not counters).
+		Pressure     bool           `json:"pressure"`
+		ClientDepths map[string]int `json:"client_depths,omitempty"`
+	} `json:"admission"`
 	// Breakers and Failpoints are filled in by the server (they live
 	// outside Metrics); empty maps are elided.
 	Breakers   map[string]BreakerSnapshot `json:"breakers,omitempty"`
@@ -199,12 +216,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.Reliability.JournalAppendErrors = m.JournalAppendErrors.Value()
 	s.Reliability.JournalCorrupt = m.JournalCorrupt.Value()
 	s.Reliability.ChipResultsReused = m.ChipResultsReused.Value()
+	s.Admission.Shed = m.JobsShed.Value()
+	s.Admission.Evicted = m.JobsEvicted.Value()
+	s.Admission.Degraded = m.JobsDegraded.Value()
+	s.Admission.RateLimited = m.RateLimited.Value()
 	s.SimRuns = m.SimRuns.Value()
 	s.StageSeconds = map[string]HistogramSnapshot{
 		"queue_wait": m.QueueWait.Snapshot(),
 		"setup":      m.Setup.Snapshot(),
 		"simulate":   m.Simulate.Snapshot(),
 		"encode":     m.Encode.Snapshot(),
+		"admission":  m.Admission.Snapshot(),
 	}
 	return s
 }

@@ -123,6 +123,15 @@ type Job struct {
 	result  []byte
 	errMsg  string
 
+	// Admission metadata: fairness identity, estimated cost (shedding),
+	// absolute deadlines (zero when unset) and whether the answer was a
+	// degraded analytic estimate. None of these join the cache key.
+	client        string
+	cost          float64
+	deadline      time.Time
+	queueDeadline time.Time
+	degraded      bool
+
 	doneChips  atomicMax
 	totalChips atomicMax
 
@@ -169,6 +178,7 @@ type JobStatus struct {
 	FinishedAt *time.Time      `json:"finished_at,omitempty"`
 	Progress   *Progress       `json:"progress,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	Degraded   bool            `json:"degraded,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 }
 
@@ -208,6 +218,19 @@ type Options struct {
 	BreakerCooldown  time.Duration
 	// JitterSeed seeds the deterministic retry-backoff jitter (default 1).
 	JitterSeed int64
+	// MaxClientRPS rate-limits work-creating submits per client with a
+	// token bucket refilled at this rate (burst 2×). Zero disables rate
+	// limiting. Coalesced and cache-hit submits are free.
+	MaxClientRPS float64
+	// DefaultDeadline bounds jobs whose submit carries no deadline of its
+	// own (queue wait plus simulation). Zero means unbounded.
+	DefaultDeadline time.Duration
+	// ShedStart is the queue-occupancy fraction at which cost-aware
+	// shedding (and degraded-mode answering) begins (default 0.75).
+	ShedStart float64
+	// ClientWeights biases the weighted-round-robin dequeue; clients not
+	// listed get weight 1.
+	ClientWeights map[string]int
 	// Artifacts optionally shares platform artifacts (Cholesky factors,
 	// thermal LU, predictors, aging tables) with other components; by
 	// default the server creates its own cache.
@@ -233,11 +256,12 @@ type Server struct {
 	baseCtx context.Context
 	stopAll context.CancelFunc
 
+	adm *admission
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	inflight map[string]*Job // request key → queued/running job
 	finished []string        // finished job IDs, oldest first
-	queue    chan *Job
 	draining bool
 	nextID   int64
 	systems  map[string]*sysEntry
@@ -312,9 +336,8 @@ func New(opts Options) (*Server, error) {
 		stopAll:  cancel,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
-		// Recovered jobs must all fit even when they exceed QueueDepth.
-		queue:   make(chan *Job, opts.QueueDepth+len(pending)),
-		systems: make(map[string]*sysEntry),
+		adm:      newAdmission(opts.QueueDepth, opts.ShedStart, opts.MaxClientRPS, opts.ClientWeights),
+		systems:  make(map[string]*sysEntry),
 	}
 	store.brk = s.cacheBrk
 	store.onQuarantine = func() { s.met.Quarantined.Add(1) }
@@ -355,13 +378,21 @@ func (s *Server) recover(pending []journalEntry) {
 			s.recordTerminal(opCancelled, e.ID)
 			continue
 		}
+		client := e.Client
+		if client == "" {
+			client = defaultClient
+		}
 		j := &Job{
-			id:      e.ID,
-			key:     e.Key,
-			req:     e.Req,
-			state:   JobQueued,
-			created: time.Now(),
-			done:    make(chan struct{}),
+			id:            e.ID,
+			key:           e.Key,
+			req:           e.Req,
+			state:         JobQueued,
+			created:       time.Now(),
+			done:          make(chan struct{}),
+			client:        client,
+			cost:          estimateCost(e.Req),
+			deadline:      e.Deadline,
+			queueDeadline: e.QueueDeadline,
 		}
 		if e.Req.Kind == KindPopulation {
 			j.totalChips.raise(int64(e.Req.Chips))
@@ -379,7 +410,7 @@ func (s *Server) recover(pending []journalEntry) {
 			s.met.CacheHits.Add(1)
 			continue
 		}
-		s.queue <- j // capacity reserved above; cannot block
+		s.adm.enqueue(j, true) // force: recovered jobs bypass capacity and shedding
 		s.inflight[e.Key] = j
 		s.met.JobsQueued.Add(1)
 		s.met.JobsRecovered.Add(1)
@@ -422,25 +453,50 @@ func (s *Server) Failpoints() map[string]FailpointStats {
 // Metrics exposes the server's counters (also served on GET /metrics).
 func (s *Server) Metrics() *Metrics { return &s.met }
 
+// ClientDepths snapshots the per-client queue depths for /metrics.
+func (s *Server) ClientDepths() map[string]int { return s.adm.depths() }
+
+// Pressure reports whether the admission layer is inside its shedding
+// band (the point where expensive work is rejected and degraded-mode
+// answers arm).
+func (s *Server) Pressure() bool { return s.adm.pressure() }
+
 // ArtifactStats snapshots the shared artifact cache.
 func (s *Server) ArtifactStats() hayat.ArtifactStats { return s.arts.Stats() }
 
 // SubmitLifetime schedules (or coalesces, or answers from cache) a
 // single-chip lifetime simulation and returns the job's status.
 func (s *Server) SubmitLifetime(cfg hayat.Config, seed int64, policy string) (JobStatus, error) {
-	return s.submit(request{Kind: KindLifetime, Config: cfg, Policy: policy, Seed: seed, Chips: 1})
+	return s.SubmitLifetimeWith(cfg, seed, policy, SubmitOpts{})
+}
+
+// SubmitLifetimeWith is SubmitLifetime with admission options: a client
+// identity for fair scheduling, a deadline/queue-TTL, and degraded-mode
+// opt-in.
+func (s *Server) SubmitLifetimeWith(cfg hayat.Config, seed int64, policy string, o SubmitOpts) (JobStatus, error) {
+	return s.submit(request{Kind: KindLifetime, Config: cfg, Policy: policy, Seed: seed, Chips: 1}, o)
 }
 
 // SubmitPopulation schedules a population fan-out over seeds
 // baseSeed…baseSeed+chips−1 with per-seed progress reporting.
 func (s *Server) SubmitPopulation(cfg hayat.Config, baseSeed int64, chips int, policy string) (JobStatus, error) {
+	return s.SubmitPopulationWith(cfg, baseSeed, chips, policy, SubmitOpts{})
+}
+
+// SubmitPopulationWith is SubmitPopulation with admission options.
+// Population jobs never degrade — a sampled analytic estimate is not a
+// population statistic — so DegradedOK is ignored.
+func (s *Server) SubmitPopulationWith(cfg hayat.Config, baseSeed int64, chips int, policy string, o SubmitOpts) (JobStatus, error) {
 	if chips <= 0 {
 		return JobStatus{}, fmt.Errorf("service: population size must be positive, got %d", chips)
 	}
-	return s.submit(request{Kind: KindPopulation, Config: cfg, Policy: policy, Seed: baseSeed, Chips: chips})
+	return s.submit(request{Kind: KindPopulation, Config: cfg, Policy: policy, Seed: baseSeed, Chips: chips}, o)
 }
 
-func (s *Server) submit(req request) (JobStatus, error) {
+func (s *Server) submit(req request, o SubmitOpts) (JobStatus, error) {
+	admitStart := time.Now()
+	defer func() { s.met.Admission.Observe(time.Since(admitStart)) }()
+
 	pol, err := hayat.ParsePolicy(req.Policy)
 	if err != nil {
 		return JobStatus{}, err
@@ -450,48 +506,111 @@ func (s *Server) submit(req request) (JobStatus, error) {
 	if err := req.Config.Validate(); err != nil {
 		return JobStatus{}, err
 	}
+	// The cache key deliberately excludes the admission metadata (client,
+	// deadlines): the same work coalesces and cache-hits regardless of who
+	// asks or how patient they are.
 	key := req.key()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j, ok := s.inflight[key]; ok {
 		s.met.Coalesced.Add(1)
-		return s.statusLocked(j, false), nil
+		st := s.statusLocked(j, false)
+		s.mu.Unlock()
+		return st, nil
 	}
 	if data, ok := s.store.get(key); ok {
 		s.met.CacheHits.Add(1)
-		j := s.newJobLocked(req, key)
+		j := s.newJobLocked(req, key, o)
 		now := time.Now()
 		j.state, j.cached, j.result = JobDone, true, data
 		j.started, j.finish = now, now
 		close(j.done)
 		s.rememberFinishedLocked(j)
-		return s.statusLocked(j, true), nil
+		st := s.statusLocked(j, true)
+		s.mu.Unlock()
+		return st, nil
 	}
 	if s.draining {
+		s.mu.Unlock()
 		return JobStatus{}, ErrDraining
 	}
+	// Only work-creating submits consume rate-limit tokens; coalesced and
+	// cached answers above are free.
+	if err := s.adm.reserve(o.clientName()); err != nil {
+		s.met.RateLimited.Add(1)
+		s.mu.Unlock()
+		return JobStatus{}, err
+	}
+	degradedOK := o.DegradedOK && req.Kind == KindLifetime
+	if degradedOK && (s.adm.pressure() || s.cacheBrk.isOpen()) {
+		s.mu.Unlock()
+		return s.serveDegraded(req, key, pol, o)
+	}
 	s.met.CacheMisses.Add(1)
-	j := s.newJobLocked(req, key)
-	select {
-	case s.queue <- j:
-	default:
+	j := s.newJobLocked(req, key, o)
+	if err := s.adm.enqueue(j, false); err != nil {
 		delete(s.jobs, j.id)
-		return JobStatus{}, ErrQueueFull
+		if errors.Is(err, ErrShedLoad) {
+			s.met.JobsShed.Add(1)
+		}
+		s.mu.Unlock()
+		if degradedOK && (errors.Is(err, ErrShedLoad) || errors.Is(err, ErrQueueFull)) {
+			// Raced into saturation between the pressure check and the
+			// enqueue: a degraded answer still beats a rejection.
+			return s.serveDegraded(req, key, pol, o)
+		}
+		return JobStatus{}, err
 	}
 	s.inflight[key] = j
 	s.met.JobsQueued.Add(1)
 	// Write-ahead: the job is durably journalled (fsync) before the
 	// submit is acknowledged, so an accepted job survives a crash. An
 	// append failure degrades durability, not availability.
-	if err := s.jnl.submitted(j.id, key, req); err != nil {
+	if err := s.jnl.submittedWith(j.id, key, req, j.client, j.deadline, j.queueDeadline); err != nil {
 		s.met.JournalAppendErrors.Add(1)
 		s.logf("service: %v", err)
 	}
-	return s.statusLocked(j, false), nil
+	st := s.statusLocked(j, false)
+	s.mu.Unlock()
+	return st, nil
 }
 
-func (s *Server) newJobLocked(req request, key string) *Job {
+// serveDegraded answers a lifetime submit with the fast analytic estimate
+// (thermpredict steady-state temperatures through the aging table) instead
+// of queueing a full simulation. The answer is recorded as an immediately
+// terminal job marked degraded; it is never cached or journalled — a
+// retry under normal load must run the real simulation.
+func (s *Server) serveDegraded(req request, key string, pol hayat.Policy, o SubmitOpts) (JobStatus, error) {
+	sys, err := s.system(req.Config)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	chip, err := sys.NewChip(req.Seed)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	est, err := chip.EstimateLifetime(pol)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	data, err := json.Marshal(est)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.newJobLocked(req, key, o)
+	now := time.Now()
+	j.state, j.result, j.degraded = JobDone, data, true
+	j.started, j.finish = now, now
+	close(j.done)
+	s.rememberFinishedLocked(j)
+	s.met.JobsDegraded.Add(1)
+	s.logf("service: %s answered degraded (load shed or cache breaker open)", j.id)
+	return s.statusLocked(j, true), nil
+}
+
+func (s *Server) newJobLocked(req request, key string, o SubmitOpts) *Job {
 	s.nextID++
 	j := &Job{
 		id:      fmt.Sprintf("job-%06d", s.nextID),
@@ -500,6 +619,18 @@ func (s *Server) newJobLocked(req request, key string) *Job {
 		state:   JobQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		client:  o.clientName(),
+		cost:    estimateCost(req),
+	}
+	dl := o.Deadline
+	if dl <= 0 {
+		dl = s.opts.DefaultDeadline
+	}
+	if dl > 0 {
+		j.deadline = j.created.Add(dl)
+	}
+	if o.QueueTTL > 0 {
+		j.queueDeadline = j.created.Add(o.QueueTTL)
 	}
 	if req.Kind == KindPopulation {
 		j.totalChips.raise(int64(req.Chips))
@@ -540,6 +671,7 @@ func (s *Server) statusLocked(j *Job, includeResult bool) JobStatus {
 		Cached:    j.cached,
 		CreatedAt: j.created,
 		Error:     j.errMsg,
+		Degraded:  j.degraded,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -618,7 +750,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.adm.close()
 	}
 	s.mu.Unlock()
 
@@ -645,22 +777,51 @@ func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.adm.pop()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
 
 func (s *Server) runJob(j *Job) {
-	runCtx, cancel := context.WithCancel(s.baseCtx)
-	defer cancel()
-
+	now := time.Now()
 	s.mu.Lock()
 	if j.state != JobQueued { // cancelled while waiting in the queue
 		s.mu.Unlock()
 		return
 	}
+	if reason, exp := j.expired(now); exp {
+		// Lazy eviction: an expired job is retired at pop time and never
+		// reaches the engine.
+		j.state = JobCancelled
+		j.errMsg = reason
+		j.finish = now
+		delete(s.inflight, j.key)
+		close(j.done)
+		s.rememberFinishedLocked(j)
+		s.recordTerminal(opCancelled, j.id)
+		s.met.JobsEvicted.Add(1)
+		s.met.JobsCancelled.Add(1)
+		s.mu.Unlock()
+		return
+	}
+	// The deadline covers queue wait plus simulation, so what remains of
+	// it becomes the run context's deadline.
+	var (
+		runCtx context.Context
+		cancel context.CancelFunc
+	)
+	if !j.deadline.IsZero() {
+		runCtx, cancel = context.WithDeadline(s.baseCtx, j.deadline)
+	} else {
+		runCtx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = now
 	j.cancelRun = cancel
 	s.mu.Unlock()
 	s.met.JobsRunning.Add(1)

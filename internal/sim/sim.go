@@ -408,7 +408,10 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 		if ferr := faultinject.Hit("sim.thermal-solve"); ferr != nil {
 			return fmt.Errorf("sim: thermal window at epoch %d: %w", ep, ferr)
 		}
-		rec := e.runWindow(ep, asg, mix, fmax, temps, dtmMgr, tr)
+		rec, werr := e.runWindow(ep, asg, mix, fmax, temps, dtmMgr, tr)
+		if werr != nil {
+			return fmt.Errorf("sim: thermal window at epoch %d: %w", ep, werr)
+		}
 
 		// Requirement violations are judged against the TRUE fmax the
 		// threads actually ran with this epoch (before it ages further).
@@ -498,8 +501,11 @@ type windowStats struct {
 
 // runWindow executes the fine-grained transient simulation for one epoch
 // and updates temps in place with the per-core time-averaged temperatures.
+// A non-finite temperature anywhere in the window (poisoned power input or
+// a degenerate solve) aborts the window with an error so NaN/Inf never
+// reaches the aging advance.
 func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix,
-	fmax, temps []float64, dtmMgr *dtm.Manager, tr *thermal.Transient) *windowStats {
+	fmax, temps []float64, dtmMgr *dtm.Manager, tr *thermal.Transient) (*windowStats, error) {
 
 	cfg := e.cfg
 	n := len(fmax)
@@ -519,7 +525,9 @@ func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix
 	total := make([]float64, n)
 	e.corePowers(pdyn, total, asg, dtmMgr, temps, fmax, nil)
 	nodes := make([]float64, e.tm.NumNodes())
-	e.tm.SteadyState(total, nodes)
+	if _, err := e.tm.SteadyStateChecked(total, nodes); err != nil {
+		return nil, err
+	}
 	tr.SetState(nodes)
 	cur := tr.CoreTemps(nil)
 
@@ -534,7 +542,9 @@ func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix
 
 	for s := 0; s < steps; s++ {
 		e.corePowers(pdyn, total, asg, dtmMgr, cur, fmax, stall)
-		tr.Step(total)
+		if err := tr.StepChecked(total); err != nil {
+			return nil, err
+		}
 		cur = tr.CoreTemps(cur)
 
 		for i := 0; i < n; i++ {
@@ -592,7 +602,7 @@ func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix
 	st.avgIPS = ipsSum * inv
 	after := dtmMgr.Stats()
 	st.dtmEvents = after.Events() - dtmBefore.Events()
-	return st
+	return st, nil
 }
 
 // corePowers fills pdyn (dynamic only) and total (dynamic + leakage /

@@ -1,0 +1,52 @@
+package thermal
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/kit-ces/hayat/internal/floorplan"
+	"github.com/kit-ces/hayat/internal/numeric"
+)
+
+func TestSteadyStateCheckedRejectsNonFinitePower(t *testing.T) {
+	fp := floorplan.New(4, 4)
+	m, err := New(fp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, fp.N())
+	power[3] = math.NaN()
+	if _, err := m.SteadyStateChecked(power, nil); !errors.Is(err, numeric.ErrNonFinite) {
+		t.Fatalf("NaN power: err = %v, want ErrNonFinite", err)
+	}
+	power[3] = 5
+	temps, err := m.SteadyStateChecked(power, nil)
+	if err != nil {
+		t.Fatalf("finite power: %v", err)
+	}
+	if !numeric.AllFinite(temps) {
+		t.Fatal("finite solve returned non-finite temperatures")
+	}
+}
+
+func TestStepCheckedRejectsNonFinitePower(t *testing.T) {
+	fp := floorplan.New(4, 4)
+	m, err := New(fp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.NewTransient(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, fp.N())
+	power[0] = 10
+	if err := tr.StepChecked(power); err != nil {
+		t.Fatalf("finite step: %v", err)
+	}
+	power[0] = math.Inf(1)
+	if err := tr.StepChecked(power); !errors.Is(err, numeric.ErrNonFinite) {
+		t.Fatalf("Inf power: err = %v, want ErrNonFinite", err)
+	}
+}

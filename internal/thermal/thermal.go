@@ -229,6 +229,31 @@ func (m *Model) solveSteady(dst, rhs []float64) {
 	}
 }
 
+// solveSteadyChecked is solveSteady with a non-finite guard: it returns an
+// error (instead of panicking or silently propagating NaN temperatures)
+// when the right-hand side is poisoned, the solve diverges, or the sparse
+// solver fails to converge.
+func (m *Model) solveSteadyChecked(dst, rhs []float64) error {
+	if m.luG != nil {
+		if err := m.luG.SolveChecked(dst, rhs); err != nil {
+			return fmt.Errorf("thermal: steady-state solve: %w", err)
+		}
+		return nil
+	}
+	if !numeric.AllFinite(rhs) {
+		return fmt.Errorf("thermal: steady-state solve: %w", numeric.ErrNonFinite)
+	}
+	m.cgMu.Lock()
+	defer m.cgMu.Unlock()
+	if _, ok := m.cg.Solve(dst, rhs); !ok {
+		return fmt.Errorf("thermal: CG did not converge on the steady-state system")
+	}
+	if !numeric.AllFinite(dst) {
+		return fmt.Errorf("thermal: steady-state solve: %w", numeric.ErrNonFinite)
+	}
+	return nil
+}
+
 // Floorplan returns the floorplan the model was built on.
 func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
 
@@ -262,6 +287,31 @@ func (m *Model) SteadyState(corePower []float64, nodeTemps []float64) []float64 
 		copy(nodeTemps, sol)
 	}
 	return sol[:m.nCores]
+}
+
+// SteadyStateChecked is SteadyState returning an error instead of letting
+// non-finite temperatures escape: a NaN/Inf power vector or a degenerate
+// solve yields numeric.ErrNonFinite (wrapped) so the caller can fail the
+// run before the values reach the aging model.
+func (m *Model) SteadyStateChecked(corePower []float64, nodeTemps []float64) ([]float64, error) {
+	if len(corePower) != m.nCores {
+		panic("thermal: SteadyState power vector length mismatch")
+	}
+	rhs := make([]float64, m.nNodes)
+	for i := range rhs {
+		rhs[i] = m.gAmb[i] * m.cfg.Ambient
+	}
+	for c, p := range corePower {
+		rhs[m.dieNode(c)] += p
+	}
+	sol := make([]float64, m.nNodes)
+	if err := m.solveSteadyChecked(sol, rhs); err != nil {
+		return nil, err
+	}
+	if nodeTemps != nil {
+		copy(nodeTemps, sol)
+	}
+	return sol[:m.nCores], nil
 }
 
 // HeatOutflow returns the total heat flowing to ambient (Watts) for a full
@@ -368,4 +418,37 @@ func (tr *Transient) Step(corePower []float64) {
 	if _, ok := tr.cg.Solve(tr.state, tr.rhs); !ok {
 		panic("thermal: CG did not converge on the transient step")
 	}
+}
+
+// StepChecked is Step returning an error when the step produces (or was
+// fed) non-finite temperatures, so a poisoned power vector aborts the
+// window instead of aging the chip with NaN temperatures. On error the
+// integrator state is unreliable and the run should be abandoned.
+func (tr *Transient) StepChecked(corePower []float64) error {
+	m := tr.m
+	if len(corePower) != m.nCores {
+		panic("thermal: Step power vector length mismatch")
+	}
+	for i := range tr.rhs {
+		tr.rhs[i] = m.capac[i]/tr.dt*tr.state[i] + m.gAmb[i]*m.cfg.Ambient
+	}
+	for c, p := range corePower {
+		tr.rhs[m.dieNode(c)] += p
+	}
+	if tr.lu != nil {
+		if err := tr.lu.SolveChecked(tr.state, tr.rhs); err != nil {
+			return fmt.Errorf("thermal: transient step: %w", err)
+		}
+		return nil
+	}
+	if !numeric.AllFinite(tr.rhs) {
+		return fmt.Errorf("thermal: transient step: %w", numeric.ErrNonFinite)
+	}
+	if _, ok := tr.cg.Solve(tr.state, tr.rhs); !ok {
+		return fmt.Errorf("thermal: CG did not converge on the transient step")
+	}
+	if !numeric.AllFinite(tr.state) {
+		return fmt.Errorf("thermal: transient step: %w", numeric.ErrNonFinite)
+	}
+	return nil
 }

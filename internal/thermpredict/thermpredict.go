@@ -64,7 +64,10 @@ func Learn(tm *thermal.Model, pm power.Model, chip *variation.Chip) (*Predictor,
 	amb := tm.Ambient()
 	for j := 0; j < n; j++ {
 		probe[j] = 1
-		temps := tm.SteadyState(probe, nil)
+		temps, err := tm.SteadyStateChecked(probe, nil)
+		if err != nil {
+			return nil, fmt.Errorf("thermpredict: probing core %d: %w", j, err)
+		}
 		for i := 0; i < n; i++ {
 			p.resp.Set(i, j, temps[i]-amb)
 		}
