@@ -1,0 +1,47 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: build test race lint fuzz-smoke fmt
+
+build:
+	$(GO) build ./...
+
+# -vet=all mirrors CI: every vet analyzer runs over test builds too.
+test:
+	$(GO) test -vet=all ./...
+
+race:
+	$(GO) test -race ./...
+
+# hayatlint enforces the project invariants (see DESIGN.md §9); gofmt -l
+# keeps the tree formatted. Both fail the target on any finding.
+lint:
+	$(GO) run ./cmd/hayatlint ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Short fuzz pass over every native fuzz target; FUZZTIME=20s matches CI.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	@set -eu; \
+	fuzz() { \
+		echo "=== $$1 $$2 ==="; \
+		$(GO) test "$$1" -run='^$$' -fuzz="^$$2\$$" -fuzztime=$(FUZZTIME); \
+	}; \
+	fuzz .                    FuzzParsePolicy; \
+	fuzz ./internal/persist   FuzzDecodeFrame; \
+	fuzz ./internal/persist   FuzzDecodeFrameLine; \
+	fuzz ./internal/persist   FuzzLoadChip; \
+	fuzz ./internal/persist   FuzzLoadResult; \
+	fuzz ./internal/service   FuzzJournalReplay; \
+	fuzz ./internal/service   FuzzDecodeConfig; \
+	fuzz ./internal/aging     FuzzTableLookup; \
+	fuzz ./internal/aging     FuzzStateAdvance; \
+	fuzz ./internal/floorplan FuzzReadFLP; \
+	fuzz ./internal/workload  FuzzReadProfileTSV
+
+fmt:
+	gofmt -w .

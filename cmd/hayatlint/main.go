@@ -1,0 +1,120 @@
+// Command hayatlint is the project's static analyzer: it loads every
+// package in the module (stdlib-only: go/parser + go/types + the source
+// importer), runs the invariant rules from internal/lint, and prints one
+// `file:line: [rule] message` diagnostic per violation.
+//
+// Usage:
+//
+//	go run ./cmd/hayatlint ./...             # whole module
+//	go run ./cmd/hayatlint ./internal/service
+//	go run ./cmd/hayatlint -rule errwrap ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+// Suppress a single finding with `//lint:ignore <rule> <reason>` on the
+// flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/kit-ces/hayat/internal/lint"
+)
+
+func main() {
+	ruleFilter := flag.String("rule", "", "run only the named rule")
+	listRules := flag.Bool("rules", false, "list rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hayatlint [-rule name] [./... | dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := lint.Rules()
+	if *listRules {
+		for _, r := range rules {
+			fmt.Printf("%-20s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+	if *ruleFilter != "" {
+		var kept []lint.Rule
+		for _, r := range rules {
+			if r.Name == *ruleFilter {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "hayatlint: unknown rule %q\n", *ruleFilter)
+			os.Exit(2)
+		}
+		rules = kept
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Filter to the requested targets. "./..." (or no argument) keeps
+	// everything; a directory argument keeps the packages under it.
+	if targets := flag.Args(); len(targets) > 0 && !all(targets) {
+		var dirs []string
+		for _, t := range targets {
+			t = strings.TrimSuffix(t, "/...")
+			abs, err := filepath.Abs(t)
+			if err != nil {
+				fatal(err)
+			}
+			dirs = append(dirs, abs)
+		}
+		var kept []*lint.Package
+		for _, p := range pkgs {
+			for _, d := range dirs {
+				if p.Dir == d || strings.HasPrefix(p.Dir, d+string(filepath.Separator)) {
+					kept = append(kept, p)
+					break
+				}
+			}
+		}
+		pkgs = kept
+	}
+
+	diags := lint.Run(pkgs, rules)
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hayatlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func all(targets []string) bool {
+	for _, t := range targets {
+		if t != "./..." && t != "..." {
+			return false
+		}
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hayatlint:", err)
+	os.Exit(2)
+}

@@ -349,6 +349,7 @@ func (r *LifetimeResult) AverageFrequencyAt(years float64) float64 {
 
 // RunLifetime simulates the chip's whole lifetime under the given policy.
 func (c *Chip) RunLifetime(p Policy) (*LifetimeResult, error) {
+	//lint:ignore ctxfirst compatibility wrapper: context-free callers get the uncancellable root by design
 	return c.RunLifetimeContext(context.Background(), p)
 }
 
@@ -504,6 +505,7 @@ func (c *Chip) newEngine(p Policy) (*sim.Engine, error) {
 // cores when cores is nil) are written as TSV every `everySteps` transient
 // steps.
 func (c *Chip) RunLifetimeTraced(p Policy, trace io.Writer, cores []int, everySteps int) (*LifetimeResult, error) {
+	//lint:ignore ctxfirst compatibility wrapper: context-free callers get the uncancellable root by design
 	return c.runLifetime(context.Background(), p, trace, cores, everySteps)
 }
 

@@ -153,6 +153,8 @@ func (r *Registry) ArmFromEnv() error {
 // Hit evaluates the failpoint: nil when disarmed or when the trigger
 // decides to pass, an error wrapping ErrInjected when it fires. Sleep
 // failpoints block for their delay and pass.
+//
+//lint:ignore ctxfirst deliberately context-free hot path (one atomic load when disarmed); sleep(D) is the injected fault itself
 func (r *Registry) Hit(name string) error {
 	if r.armed.Load() == 0 {
 		return nil

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkCheckedSolve reserves the raw solver entry points for
+// internal/numeric itself. After the NaN/Inf hardening PR, every solver
+// has a *Checked twin (SolveChecked, SteadyStateChecked) that rejects
+// non-finite inputs and results; calling the raw variant from anywhere
+// else reopens the hole where a poisoned power vector ages a chip with
+// NaN temperatures. Deliberate raw fast paths (e.g. thermal's internal
+// dispatch, which its own Checked wrappers guard) carry a
+// //lint:ignore checked-solve justification.
+func checkCheckedSolve(p *Package, r *Reporter) {
+	if p.PathContains("internal/numeric") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Solve" && name != "SteadyState" {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			pkg := funcPkgPath(fn)
+			if !pathContains(pkg, "internal/numeric") && !pathContains(pkg, "internal/thermal") {
+				return true
+			}
+			recv := ""
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				qual := func(p *types.Package) string { return p.Name() }
+				recv = types.TypeString(sig.Recv().Type(), qual) + "."
+			}
+			r.Reportf(call.Pos(),
+				"raw %s%s call outside internal/numeric; use %sChecked so non-finite values are rejected instead of propagated",
+				recv, name, name)
+			return true
+		})
+	}
+}

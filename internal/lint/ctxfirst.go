@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkCtxFirst enforces the project's context-threading invariant:
+//
+//  1. An exported function (or method) whose body blocks — it calls
+//     time.Sleep, performs network I/O, or spins an unbounded loop that
+//     waits on channel operations — must take a context.Context as its
+//     first parameter so callers can cancel it. Bounded compute loops
+//     (matrix solves, table scans) do not count as blocking.
+//  2. context.Background() and context.TODO() mint fresh root contexts
+//     and therefore detach work from its caller; they are confined to
+//     package main, tests and examples/. Library code receives its
+//     context.
+//
+// Both halves are skipped for package main and examples/; test files are
+// never analyzed.
+func checkCtxFirst(p *Package, r *Reporter) {
+	if p.Main() || p.PathContains("examples") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.IsExported() && !firstParamIsContext(p.Info, fd) {
+				if why := blockingReason(p.Info, fd.Body); why != "" {
+					r.Reportf(fd.Name.Pos(),
+						"exported function %s %s but does not take context.Context as its first parameter",
+						fd.Name.Name, why)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeOf(p.Info, call)
+			if isFunc(f, "context", "Background") || isFunc(f, "context", "TODO") {
+				r.Reportf(call.Pos(),
+					"context.%s() detaches work from its caller; outside main, tests and examples/ the context must be threaded in",
+					f.Name())
+			}
+			return true
+		})
+	}
+}
+
+func firstParamIsContext(info *types.Info, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(params.List[0].Type)
+	return t != nil && isContextContext(t)
+}
+
+// blockingReason classifies the first blocking construct found in body,
+// or returns "" when the function never blocks. Function literals are
+// not entered: a closure blocks on its own schedule.
+func blockingReason(info *types.Info, body *ast.BlockStmt) string {
+	reason := ""
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if why := blockingCall(info, n); why != "" {
+				reason = why
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && loopWaitsOnChannels(n.Body) {
+				reason = "contains an unbounded channel-wait loop"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	f := calleeOf(info, call)
+	if f == nil {
+		return ""
+	}
+	if isFunc(f, "time", "Sleep") {
+		return "calls time.Sleep"
+	}
+	name := f.Name()
+	switch funcPkgPath(f) {
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head",
+			"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS":
+			return "performs network I/O (net/http." + name + ")"
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Listen", "ListenPacket":
+			return "performs network I/O (net." + name + ")"
+		}
+	}
+	return ""
+}
+
+// loopWaitsOnChannels reports whether the loop body contains a select
+// statement, a channel send, or a channel receive — the signature of an
+// event loop that can block indefinitely on external progress.
+func loopWaitsOnChannels(body *ast.BlockStmt) bool {
+	waits := false
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			waits = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				waits = true
+				return false
+			}
+		}
+		return !waits
+	})
+	return waits
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkFailpointCoverage enforces failure-injection coverage for durable
+// I/O: inside internal/service and internal/persist, any function that
+// calls os.WriteFile, os.Rename, (*os.File).Sync, or performs a
+// disk-cache read (os.ReadFile, os.Open) must also evaluate a
+// faultinject failpoint, so the crash-safety tests can fault that seam.
+// An uninstrumented write path is exactly the regression the journal and
+// checkpoint tests cannot see.
+func checkFailpointCoverage(p *Package, r *Reporter) {
+	if !p.PathContains("internal/service") && !p.PathContains("internal/persist") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			risky := riskyIOCalls(p, fd.Body)
+			if len(risky) == 0 || evaluatesFailpoint(p, fd.Body) {
+				continue
+			}
+			for _, call := range risky {
+				r.Reportf(call.call.Pos(),
+					"%s without a faultinject failpoint in %s; evaluate a failpoint on this durable-I/O path so tests can inject its failure",
+					call.what, fd.Name.Name)
+			}
+		}
+	}
+}
+
+type riskyCall struct {
+	call *ast.CallExpr
+	what string
+}
+
+// riskyIOCalls collects the durable-I/O calls in body. Closures are
+// included: a failpoint in the enclosing function guards them too, since
+// the rule is scoped per declared function.
+func riskyIOCalls(p *Package, body *ast.BlockStmt) []riskyCall {
+	var out []riskyCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeOf(p.Info, call)
+		switch {
+		case isFunc(f, "os", "WriteFile"):
+			out = append(out, riskyCall{call, "os.WriteFile"})
+		case isFunc(f, "os", "Rename"):
+			out = append(out, riskyCall{call, "os.Rename"})
+		case isFunc(f, "os", "ReadFile"):
+			out = append(out, riskyCall{call, "os.ReadFile"})
+		case isFunc(f, "os", "Open"):
+			out = append(out, riskyCall{call, "os.Open"})
+		case fullName(f) == "(*os.File).Sync":
+			out = append(out, riskyCall{call, "(*os.File).Sync"})
+		}
+		return true
+	})
+	return out
+}
+
+// evaluatesFailpoint reports whether body calls anything exported by a
+// package whose import path contains internal/faultinject.
+func evaluatesFailpoint(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pathContains(funcPkgPath(calleeOf(p.Info, call)), "internal/faultinject") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

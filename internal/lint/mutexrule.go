@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkMutexDiscipline flags a return statement that executes while a
+// sync.Mutex/RWMutex is locked and the matching unlock is neither
+// deferred nor already executed on that path. This is the exact shape of
+// the bug the race detector cannot see: the early-return path works in
+// the happy case and deadlocks the next caller.
+//
+// The scan is a pragmatic linear walk, not full data-flow analysis:
+// locks are tracked per receiver expression text within one function
+// body, branch bodies are scanned with a copy of the held set, and the
+// held set is assumed unchanged after a branch (an unlock inside a
+// branch that then falls through is rare enough to suppress explicitly).
+func checkMutexDiscipline(p *Package, r *Reporter) {
+	forEachFunc(p, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		s := &mutexScan{p: p, r: r}
+		s.scanStmts(body.List, map[string]ast.Node{})
+	})
+}
+
+type mutexScan struct {
+	p *Package
+	r *Reporter
+}
+
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var unlockMethods = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// lockReceiver returns the receiver key ("s.mu") when call is a
+// lock/unlock method call, classified by which.
+func (s *mutexScan) lockReceiver(call *ast.CallExpr, which map[string]bool) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !which[fullName(calleeOf(s.p.Info, call))] {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// scanStmts walks one statement list. held maps receiver key to the Lock
+// call site; entries are removed on unlock or deferred unlock.
+func (s *mutexScan) scanStmts(stmts []ast.Stmt, held map[string]ast.Node) {
+	for _, st := range stmts {
+		s.scanStmt(st, held)
+	}
+}
+
+func copyHeld(held map[string]ast.Node) map[string]ast.Node {
+	c := make(map[string]ast.Node, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (s *mutexScan) scanStmt(st ast.Stmt, held map[string]ast.Node) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, ok := s.lockReceiver(call, lockMethods); ok {
+				held[key] = call
+				return
+			}
+			if key, ok := s.lockReceiver(call, unlockMethods); ok {
+				delete(held, key)
+				return
+			}
+		}
+	case *ast.DeferStmt:
+		// Both `defer mu.Unlock()` and `defer func() { mu.Unlock() }()`
+		// release the lock on every subsequent return path.
+		if key, ok := s.lockReceiver(st.Call, unlockMethods); ok {
+			delete(held, key)
+			return
+		}
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, ok := s.lockReceiver(call, unlockMethods); ok {
+						delete(held, key)
+					}
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		for key, lock := range held {
+			s.r.Reportf(st.Pos(),
+				"return while %s is locked (Lock at line %d) without a deferred unlock; defer the unlock or release before returning",
+				key, s.p.Fset.Position(lock.Pos()).Line)
+		}
+	case *ast.BlockStmt:
+		s.scanStmts(st.List, held)
+	case *ast.LabeledStmt:
+		s.scanStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		s.scanStmts(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			s.scanStmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		s.scanStmts(st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		s.scanStmts(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		s.scanClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		s.scanClauses(st.Body, held)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	}
+}
+
+func (s *mutexScan) scanClauses(body *ast.BlockStmt, held map[string]ast.Node) {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			s.scanStmts(cc.Body, copyHeld(held))
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package checkedsolve is the golden fixture for the checked-solve rule
+// from a consumer package's point of view.
+package checkedsolve
+
+import (
+	"example.com/fixture/internal/numeric"
+	"example.com/fixture/internal/thermal"
+)
+
+// rawSolve calls the unguarded solver from outside internal/numeric.
+func rawSolve(f *numeric.LU, b []float64) []float64 {
+	return f.Solve(nil, b) // want `raw \*numeric\.LU\.Solve call outside internal/numeric; use SolveChecked`
+}
+
+// checkedSolve uses the guarded variant: fine.
+func checkedSolve(f *numeric.LU, b []float64) error {
+	return f.SolveChecked(nil, b)
+}
+
+// rawSteady calls the thermal model's unguarded entry point.
+func rawSteady(m *thermal.Model, p []float64) []float64 {
+	return m.SteadyState(p) // want `raw \*thermal\.Model\.SteadyState call outside internal/numeric; use SteadyStateChecked`
+}
+
+// checkedSteady uses the guarded variant: fine.
+func checkedSteady(m *thermal.Model, p []float64) ([]float64, error) {
+	return m.SteadyStateChecked(p)
+}
+
+// puzzle has a Solve method but lives in neither internal/numeric nor
+// internal/thermal, so calling it raw is fine.
+type puzzle struct{}
+
+func (puzzle) Solve() {}
+
+func otherSolve(p puzzle) {
+	p.Solve()
+}

@@ -1,0 +1,88 @@
+// Package ctxfirst is the golden fixture for the ctxfirst rule.
+package ctxfirst
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Sleepy blocks without taking a context.
+func Sleepy(d time.Duration) { // want `exported function Sleepy calls time.Sleep but does not take context.Context as its first parameter`
+	time.Sleep(d)
+}
+
+// SleepCtx blocks but takes the context first: fine.
+func SleepCtx(ctx context.Context, d time.Duration) {
+	time.Sleep(d)
+}
+
+// SleepLate takes a context, but not as the first parameter.
+func SleepLate(d time.Duration, ctx context.Context) { // want `exported function SleepLate calls time.Sleep but does not take context.Context as its first parameter`
+	time.Sleep(d)
+}
+
+// unexportedSleep is not part of the API surface: fine.
+func unexportedSleep(d time.Duration) {
+	time.Sleep(d)
+}
+
+// Pump is an unbounded channel-wait loop.
+func Pump(ch chan int) int { // want `exported function Pump contains an unbounded channel-wait loop but does not take context.Context as its first parameter`
+	total := 0
+	for {
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// Fetch performs network I/O.
+func Fetch(url string) error { // want `exported function Fetch performs network I/O \(net/http\.Get\) but does not take context.Context as its first parameter`
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Calc only runs a bounded compute loop: fine.
+func Calc() int {
+	s := 0
+	for i := 0; i < 100; i++ {
+		s += i
+	}
+	return s
+}
+
+// Converge loops without a condition but never waits on a channel — a
+// numeric convergence loop, not an event loop: fine.
+func Converge(x float64) float64 {
+	for {
+		next := (x + 2/x) / 2
+		if diff := next - x; diff < 1e-12 && diff > -1e-12 {
+			return next
+		}
+		x = next
+	}
+}
+
+// Spawner only sleeps inside a goroutine it launches; the caller itself
+// never blocks: fine.
+func Spawner() {
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// Root mints a fresh root context in library code.
+func Root() context.Context {
+	return context.Background() // want `context\.Background\(\) detaches work from its caller`
+}
+
+// Todo is the same violation through TODO.
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) detaches work from its caller`
+}

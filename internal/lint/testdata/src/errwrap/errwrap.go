@@ -1,0 +1,67 @@
+// Package errwrap is the golden fixture for the errwrap rule.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBad is a package-level sentinel.
+var ErrBad = errors.New("bad")
+
+// wrapV buries the error under %v, severing the chain.
+func wrapV(err error) error {
+	return fmt.Errorf("loading chip: %v", err) // want `fmt\.Errorf formats an error with %v; use %w`
+}
+
+// wrapS and wrapQ are the same bug through other verbs.
+func wrapS(err error) error {
+	return fmt.Errorf("loading chip: %s", err) // want `fmt\.Errorf formats an error with %s; use %w`
+}
+
+func wrapQ(err error) error {
+	return fmt.Errorf("loading chip: %q", err) // want `fmt\.Errorf formats an error with %q; use %w`
+}
+
+// wrapW preserves the chain: fine.
+func wrapW(err error) error {
+	return fmt.Errorf("loading chip: %w", err)
+}
+
+// laterArg exercises verb/argument alignment: the error is the second
+// argument, behind a width-star pair.
+func laterArg(n int, err error) error {
+	return fmt.Errorf("chip %*d failed: %v", n, n, err) // want `fmt\.Errorf formats an error with %v; use %w`
+}
+
+// floats through %v are not errors: fine.
+func vFloat(x float64) error {
+	return fmt.Errorf("temperature %v out of range", x)
+}
+
+// eqSentinel compares a sentinel with ==.
+func eqSentinel(err error) bool {
+	return err == io.EOF // want `sentinel error EOF compared with ==; use errors\.Is`
+}
+
+// neqSentinel compares a local sentinel with !=.
+func neqSentinel(err error) bool {
+	return err != ErrBad // want `sentinel error ErrBad compared with !=; use errors\.Is`
+}
+
+// errorsIs is the blessed form: fine.
+func errorsIs(err error) bool {
+	return errors.Is(err, ErrBad)
+}
+
+// nilCompare is not a sentinel comparison: fine.
+func nilCompare(err error) bool {
+	return err == nil
+}
+
+// localCompare compares two plain error values, neither a package-level
+// sentinel: fine (there is nothing wrapped to miss).
+func localCompare(a, b error) bool {
+	return a == b
+}

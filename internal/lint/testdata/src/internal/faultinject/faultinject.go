@@ -1,0 +1,7 @@
+// Package faultinject is a stand-in for the real failpoint registry so
+// the failpoint-coverage fixture can exercise "evaluates a failpoint"
+// detection (matching is by import path suffix, not identity).
+package faultinject
+
+// Hit mimics the real registry's evaluation entry point.
+func Hit(name string) error { return nil }

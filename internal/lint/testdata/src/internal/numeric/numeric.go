@@ -1,0 +1,18 @@
+// Package numeric is a stand-in for the real solver package: the
+// checked-solve rule reserves raw Solve/SteadyState for import paths
+// containing internal/numeric.
+package numeric
+
+// LU mimics a factorisation with a raw and a checked solve.
+type LU struct{}
+
+// Solve is the raw entry point (no non-finite guard).
+func (f *LU) Solve(dst, b []float64) []float64 { return dst }
+
+// SolveChecked is the guarded variant.
+func (f *LU) SolveChecked(dst, b []float64) error { return nil }
+
+// internalUse may call the raw solver: the rule exempts internal/numeric.
+func internalUse(f *LU) {
+	f.Solve(nil, nil)
+}

@@ -1,0 +1,51 @@
+// Package persist is the golden fixture for the failpoint-coverage rule
+// (the rule is scoped to import paths containing internal/persist or
+// internal/service).
+package persist
+
+import (
+	"os"
+
+	"example.com/fixture/internal/faultinject"
+)
+
+// writeRaw does durable I/O with no failpoint in the function.
+func writeRaw(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `os\.WriteFile without a faultinject failpoint in writeRaw`
+}
+
+// writeGuarded evaluates a failpoint before the same I/O: fine.
+func writeGuarded(path string, b []byte) error {
+	if err := faultinject.Hit("persist.write"); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// renameRaw covers the os.Rename seam.
+func renameRaw(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want `os\.Rename without a faultinject failpoint in renameRaw`
+}
+
+// readRaw covers the disk-cache read seam.
+func readRaw(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `os\.ReadFile without a faultinject failpoint in readRaw`
+}
+
+// syncRaw covers the (*os.File).Sync seam.
+func syncRaw(f *os.File) error {
+	return f.Sync() // want `\(\*os\.File\)\.Sync without a faultinject failpoint in syncRaw`
+}
+
+// openGuarded is fine: the failpoint can fire anywhere in the function.
+func openGuarded(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if ferr := faultinject.Hit("persist.open"); ferr != nil {
+		f.Close()
+		return nil, ferr
+	}
+	return f, nil
+}

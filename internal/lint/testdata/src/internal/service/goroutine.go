@@ -1,0 +1,46 @@
+// Package service is the golden fixture for the goroutine-hygiene rule
+// (the rule is scoped to import paths containing internal/service).
+package service
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+}
+
+// startTracked spawns after a WaitGroup.Add: fine.
+func (p *pool) startTracked() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+// startLit spawns a literal that defers Done: fine.
+func (p *pool) startLit() {
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+// fireAndForget is the violation: nobody can wait for this goroutine.
+func fireAndForget(ch chan int) {
+	go func() { // want `fire-and-forget goroutine`
+		ch <- 1
+	}()
+}
+
+// fireMethod spawns a method with no Add in sight.
+func (p *pool) fireMethod() {
+	go p.run() // want `fire-and-forget goroutine`
+}
+
+// nested closures are checked against their own enclosing function.
+func (p *pool) nested() func() {
+	p.wg.Add(1) // tracks the outer function's spawns, not the closure's
+	return func() {
+		go p.run() // want `fire-and-forget goroutine`
+	}
+}

@@ -1,0 +1,33 @@
+// Package thermal is a stand-in thermal model: its SteadyState family is
+// covered by the checked-solve rule, and the package itself — unlike
+// internal/numeric — is not exempt from it.
+package thermal
+
+import "example.com/fixture/internal/numeric"
+
+// Model mimics the compact thermal model.
+type Model struct {
+	lu *numeric.LU
+}
+
+// SteadyState dispatches to the raw solver; inside internal/thermal this
+// is only legal with an explicit suppression.
+func (m *Model) SteadyState(power []float64) []float64 {
+	//lint:ignore checked-solve fixture for the justified raw fast path
+	return m.lu.Solve(make([]float64, len(power)), power)
+}
+
+// SteadyStateChecked is the guarded variant.
+func (m *Model) SteadyStateChecked(power []float64) ([]float64, error) {
+	dst := make([]float64, len(power))
+	if err := m.lu.SolveChecked(dst, power); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// unsuppressed is the violation the rule exists for: a raw numeric solve
+// outside internal/numeric with no justification.
+func unsuppressed(m *Model, power []float64) {
+	m.lu.Solve(nil, power) // want `raw \*numeric\.LU\.Solve call outside internal/numeric; use SolveChecked`
+}

@@ -1,0 +1,89 @@
+// Package mutexrule is the golden fixture for the mutex-discipline rule.
+package mutexrule
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	set map[string]int
+}
+
+// deferred is the blessed shape: fine.
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// explicit unlocks before returning: fine.
+func (b *box) explicit() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// earlyReturn leaks the lock on the early path.
+func (b *box) earlyReturn() int {
+	b.mu.Lock()
+	if b.n > 0 {
+		return b.n // want `return while b\.mu is locked`
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// branchUnlock releases on every path: fine.
+func (b *box) branchUnlock(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// rlockLeak leaks a read lock.
+func (b *box) rlockLeak() int {
+	b.rw.RLock()
+	return b.n // want `return while b\.rw is locked`
+}
+
+// rlockDeferred is fine.
+func (b *box) rlockDeferred() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+// closureUnlock defers the unlock inside a closure: fine.
+func (b *box) closureUnlock() int {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	return b.n
+}
+
+// twoLocks leaks only the second lock.
+func (b *box) twoLocks() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rw.Lock()
+	return b.n // want `return while b\.rw is locked`
+}
+
+// loopReturn returns from inside a loop while locked.
+func (b *box) loopReturn(keys []string) int {
+	b.mu.Lock()
+	for _, k := range keys {
+		if v, ok := b.set[k]; ok {
+			return v // want `return while b\.mu is locked`
+		}
+	}
+	b.mu.Unlock()
+	return 0
+}

@@ -1,0 +1,23 @@
+// Package other proves the path-scoped rules stay in their lanes:
+// durable I/O and goroutines outside internal/service and
+// internal/persist are not this linter's business.
+package other
+
+import (
+	"os"
+	"sync"
+)
+
+// writeOutsideScope does durable I/O outside the failpoint-covered
+// packages: fine.
+func writeOutsideScope(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+// spawnOutsideScope launches an untracked goroutine outside
+// internal/service: fine for goroutine-hygiene.
+func spawnOutsideScope() *sync.WaitGroup {
+	var wg sync.WaitGroup
+	go func() {}()
+	return &wg
+}

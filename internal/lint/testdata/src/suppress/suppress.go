@@ -1,0 +1,39 @@
+// Package suppress exercises the //lint:ignore machinery: a valid
+// suppression silences its diagnostic, an unknown rule or a missing
+// reason is itself reported. The assertions live in lint_test.go rather
+// than in want comments.
+package suppress
+
+import "time"
+
+// SleepySuppressed would violate ctxfirst, but carries a justification
+// on the line above the flagged declaration.
+//
+//lint:ignore ctxfirst fixture: demonstrates a justified suppression
+func SleepySuppressed(d time.Duration) {
+	time.Sleep(d)
+}
+
+// SleepyInline carries the suppression at the end of the flagged line.
+func SleepyInline(d time.Duration) { //lint:ignore ctxfirst fixture: same-line suppression
+	time.Sleep(d)
+}
+
+// SleepyUnsuppressed has no suppression and must still be reported.
+func SleepyUnsuppressed(d time.Duration) {
+	time.Sleep(d)
+}
+
+//lint:ignore nosuchrule this directive names a rule that does not exist
+func typoRule() {}
+
+//lint:ignore ctxfirst
+func missingReason() {}
+
+// wrongRule suppresses a different rule than the one that fires, so the
+// ctxfirst diagnostic must survive.
+//
+//lint:ignore errwrap fixture: suppression for an unrelated rule
+func WrongRule(d time.Duration) {
+	time.Sleep(d)
+}

@@ -6,7 +6,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+
+	"github.com/kit-ces/hayat/internal/faultinject"
 )
+
+// fpQuarantine faults the corrupt-artefact rename so tests can exercise
+// a quarantine that itself fails (e.g. read-only cache directory).
+const fpQuarantine = "persist.quarantine"
 
 // CRC framing for crash-safe artefacts: the service's write-ahead journal
 // records and persisted cache/checkpoint files are wrapped in a frame so
@@ -99,6 +105,9 @@ func DecodeFrameLine(line []byte) ([]byte, error) {
 // but never re-read as data. It returns the quarantine path.
 func Quarantine(path string) (string, error) {
 	q := path + ".corrupt"
+	if err := faultinject.Hit(fpQuarantine); err != nil {
+		return "", fmt.Errorf("persist: quarantining %s: %w", path, err)
+	}
 	if err := os.Rename(path, q); err != nil {
 		return "", fmt.Errorf("persist: quarantining %s: %w", path, err)
 	}

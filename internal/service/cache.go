@@ -131,9 +131,6 @@ func (s *resultStore) put(key string, data []byte) error {
 		return fmt.Errorf("service: refusing to persist unsafe key %q", key)
 	}
 	err := s.throughBreaker(func() error {
-		if ferr := faultinject.Hit(fpCacheWrite); ferr != nil {
-			return ferr
-		}
 		return s.writeEntry(key, data)
 	})
 	if errors.Is(err, ErrBreakerOpen) {
@@ -146,7 +143,12 @@ func (s *resultStore) put(key string, data []byte) error {
 }
 
 // writeEntry persists one framed cache file atomically (temp + rename).
+// The write failpoint lives here, next to the I/O it faults, so the
+// whole temp/sync/rename seam is covered by one arming.
 func (s *resultStore) writeEntry(key string, data []byte) error {
+	if ferr := faultinject.Hit(fpCacheWrite); ferr != nil {
+		return ferr
+	}
 	framed := persist.EncodeFrame(data)
 	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
 	if err != nil {

@@ -11,7 +11,19 @@ import (
 	"sync"
 	"time"
 
+	"github.com/kit-ces/hayat/internal/faultinject"
 	"github.com/kit-ces/hayat/internal/persist"
+)
+
+// Journal failpoints: every durable-I/O seam of the write-ahead log is
+// individually faultable so the crash tests can exercise a torn replay,
+// a failed append, a compaction that dies mid-rename, and a final sync
+// that never lands.
+const (
+	fpJournalReplay  = "service.journal-replay"
+	fpJournalAppend  = "service.journal-append"
+	fpJournalCompact = "service.journal-compact"
+	fpJournalClose   = "service.journal-close"
 )
 
 // Journal operations. A job's life in the journal is one opSubmit record
@@ -95,6 +107,9 @@ func openJournal(path string) (*journal, []journalEntry, int, error) {
 	}
 	j := &journal{path: path, live: make(map[string]journalRecord)}
 
+	if ferr := faultinject.Hit(fpJournalReplay); ferr != nil {
+		return nil, nil, 0, fmt.Errorf("service: journal replay: %w", ferr)
+	}
 	corrupt := 0
 	var order []string // submit order of live IDs
 	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
@@ -211,6 +226,9 @@ func (j *journal) append(rec journalRecord, sync bool) error {
 	if j.f == nil {
 		return fmt.Errorf("service: journal is closed")
 	}
+	if ferr := faultinject.Hit(fpJournalAppend); ferr != nil {
+		return fmt.Errorf("service: journal append: %w", ferr)
+	}
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("service: journal append: %w", err)
 	}
@@ -238,6 +256,9 @@ func (j *journal) append(rec journalRecord, sync bool) error {
 // temp file renamed into place. Callers hold j.mu (or own j exclusively,
 // as openJournal does).
 func (j *journal) compactLocked() error {
+	if ferr := faultinject.Hit(fpJournalCompact); ferr != nil {
+		return fmt.Errorf("service: journal compact: %w", ferr)
+	}
 	if j.f != nil {
 		j.f.Close()
 		j.f = nil
@@ -297,7 +318,10 @@ func (j *journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
-	err := j.f.Sync()
+	err := faultinject.Hit(fpJournalClose)
+	if err == nil {
+		err = j.f.Sync()
+	}
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}

@@ -17,11 +17,11 @@ func TestHistogramZeroObservations(t *testing.T) {
 
 func TestHistogramOutOfRangeLatencies(t *testing.T) {
 	var h Histogram
-	h.Observe(0)                    // below the first bound: lands in bucket 0
-	h.Observe(-time.Second)         // negative durations must not corrupt state
-	h.Observe(time.Hour)            // beyond the last bound: +Inf bucket
-	h.Observe(1000000 * time.Hour)  // absurdly large
-	h.Observe(time.Duration(1))     // 1 ns
+	h.Observe(0)                   // below the first bound: lands in bucket 0
+	h.Observe(-time.Second)        // negative durations must not corrupt state
+	h.Observe(time.Hour)           // beyond the last bound: +Inf bucket
+	h.Observe(1000000 * time.Hour) // absurdly large
+	h.Observe(time.Duration(1))    // 1 ns
 	s := h.Snapshot()
 	if s.Count != 5 {
 		t.Fatalf("count %d, want 5", s.Count)

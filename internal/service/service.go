@@ -30,6 +30,7 @@ import (
 const (
 	fpJobSpawn        = "service.job-spawn"
 	fpCheckpointWrite = "service.checkpoint-write"
+	fpCheckpointRead  = "service.checkpoint-read"
 )
 
 // Job kinds.
@@ -321,6 +322,7 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 
+	//lint:ignore ctxfirst server root context: it outlives any request and is cancelled by Shutdown/stopAll
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:     opts,
@@ -755,6 +757,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	done := make(chan struct{})
+	//lint:ignore goroutine-hygiene joined via the done channel: both select arms below wait for it before returning
 	go func() {
 		s.wg.Wait()
 		close(done)
@@ -973,7 +976,16 @@ func (s *Server) runLifetime(ctx context.Context, j *Job, chip *hayat.Chip, pol 
 	}
 	path := s.ckptPath(j.key)
 	sink := s.checkpointSink(path)
-	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+	var data []byte
+	if ferr := faultinject.Hit(fpCheckpointRead); ferr == nil {
+		data, _ = os.ReadFile(path)
+	} else {
+		// An unreadable checkpoint degrades to a fresh run, exactly like
+		// a missing one; resuming from a file we could not read would be
+		// worse than recomputing.
+		s.logf("service: %s checkpoint read faulted (%v), restarting from epoch 0", j.id, ferr)
+	}
+	if len(data) > 0 {
 		res, rerr := chip.ResumeLifetimeWithCheckpoints(ctx, pol, data, s.opts.CheckpointEvery, sink)
 		if rerr == nil {
 			s.met.CheckpointResumes.Add(1)
@@ -1001,9 +1013,6 @@ func (s *Server) runLifetime(ctx context.Context, j *Job, chip *hayat.Chip, pol 
 func (s *Server) checkpointSink(path string) hayat.CheckpointSink {
 	return func(nextEpoch int, data []byte) error {
 		err := s.ckptBrk.do(func() error {
-			if ferr := faultinject.Hit(fpCheckpointWrite); ferr != nil {
-				return ferr
-			}
 			return atomicWrite(path, data)
 		})
 		if err != nil {
@@ -1069,6 +1078,9 @@ func (c *chipStore) path(seed int64) string {
 }
 
 func (c *chipStore) Load(seed int64) ([]byte, bool) {
+	if ferr := faultinject.Hit(fpCheckpointRead); ferr != nil {
+		return nil, false // faulted read == cache miss: recompute the chip
+	}
 	raw, err := os.ReadFile(c.path(seed))
 	if err != nil {
 		return nil, false
@@ -1086,9 +1098,6 @@ func (c *chipStore) Load(seed int64) ([]byte, bool) {
 
 func (c *chipStore) Save(seed int64, data []byte) error {
 	err := c.s.ckptBrk.do(func() error {
-		if ferr := faultinject.Hit(fpCheckpointWrite); ferr != nil {
-			return ferr
-		}
 		return atomicWrite(c.path(seed), persist.EncodeFrame(data))
 	})
 	if err != nil {
@@ -1101,8 +1110,13 @@ func (c *chipStore) Save(seed int64, data []byte) error {
 }
 
 // atomicWrite publishes data at path via temp file + fsync + rename so a
-// crash can never leave a torn file behind.
+// crash can never leave a torn file behind. The checkpoint-write
+// failpoint sits here so every caller's temp/sync/rename seam is
+// faultable through one arming.
 func atomicWrite(path string, data []byte) error {
+	if ferr := faultinject.Hit(fpCheckpointWrite); ferr != nil {
+		return ferr
+	}
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."

@@ -136,6 +136,7 @@ func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
 	if uptoEpoch < 0 || uptoEpoch > e.Epochs() {
 		return nil, fmt.Errorf("sim: uptoEpoch %d outside [0,%d]", uptoEpoch, e.Epochs())
 	}
+	//lint:ignore ctxfirst compatibility wrapper: context-free callers get the uncancellable root by design
 	if err := e.runRange(context.Background(), st, 0, uptoEpoch); err != nil {
 		return nil, err
 	}
@@ -145,6 +146,7 @@ func (e *Engine) RunCheckpoint(uptoEpoch int) (*Checkpoint, error) {
 // Resume continues a checkpointed run to the end of the lifetime and
 // returns the complete result (including the checkpointed epochs).
 func (e *Engine) Resume(cp *Checkpoint) (*Result, error) {
+	//lint:ignore ctxfirst compatibility wrapper: context-free callers get the uncancellable root by design
 	return e.ResumeContext(context.Background(), cp)
 }
 

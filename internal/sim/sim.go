@@ -317,6 +317,7 @@ func (e *Engine) Epochs() int {
 
 // Run simulates the full lifetime and returns the result.
 func (e *Engine) Run() (*Result, error) {
+	//lint:ignore ctxfirst compatibility wrapper: context-free callers get the uncancellable root by design
 	return e.RunContext(context.Background())
 }
 

@@ -203,6 +203,33 @@ func (m *GridModel) SteadyState(corePower []float64, tileTemps []float64) (coreA
 	if len(corePower) != m.nCores {
 		panic("thermal: grid SteadyState power vector length mismatch")
 	}
+	rhs := m.assembleRHS(corePower)
+	sol := make([]float64, m.nNodes)
+	//lint:ignore checked-solve deliberate unchecked fast path; guarded callers use SteadyStateChecked
+	m.luG.Solve(sol, rhs)
+	return m.reduceTiles(sol, tileTemps)
+}
+
+// SteadyStateChecked is SteadyState returning an error instead of
+// letting non-finite temperatures escape, mirroring
+// (*Model).SteadyStateChecked: a NaN/Inf power vector or a degenerate
+// solve yields numeric.ErrNonFinite (wrapped).
+func (m *GridModel) SteadyStateChecked(corePower []float64, tileTemps []float64) (coreAvg, coreMax []float64, err error) {
+	if len(corePower) != m.nCores {
+		panic("thermal: grid SteadyState power vector length mismatch")
+	}
+	rhs := m.assembleRHS(corePower)
+	sol := make([]float64, m.nNodes)
+	if err := m.luG.SolveChecked(sol, rhs); err != nil {
+		return nil, nil, fmt.Errorf("thermal: grid steady-state solve: %w", err)
+	}
+	coreAvg, coreMax = m.reduceTiles(sol, tileTemps)
+	return coreAvg, coreMax, nil
+}
+
+// assembleRHS fills the shared RHS buffer with ambient inflow plus the
+// density-weighted per-tile power injection.
+func (m *GridModel) assembleRHS(corePower []float64) []float64 {
 	s2 := m.subdiv * m.subdiv
 	rhs := m.rhsBuf
 	for i := range rhs {
@@ -213,8 +240,14 @@ func (m *GridModel) SteadyState(corePower []float64, tileTemps []float64) (coreA
 			rhs[m.tileNode(c, t)] += p * m.density[t]
 		}
 	}
-	sol := make([]float64, m.nNodes)
-	m.luG.Solve(sol, rhs)
+	return rhs
+}
+
+// reduceTiles folds a full node solution into per-core average and
+// maximum die-tile temperatures, copying the tile field out when
+// requested.
+func (m *GridModel) reduceTiles(sol, tileTemps []float64) (coreAvg, coreMax []float64) {
+	s2 := m.subdiv * m.subdiv
 	if tileTemps != nil {
 		copy(tileTemps, sol[:m.nTiles])
 	}
@@ -249,17 +282,9 @@ func (m *GridModel) HeatOutflow(nodeState []float64) float64 {
 // SteadyStateNodes is like SteadyState but returns the full node state
 // (tiles, spreader, sink) for energy accounting.
 func (m *GridModel) SteadyStateNodes(corePower []float64) []float64 {
-	s2 := m.subdiv * m.subdiv
-	rhs := m.rhsBuf
-	for i := range rhs {
-		rhs[i] = m.gAmb[i] * m.cfg.Ambient
-	}
-	for c, p := range corePower {
-		for t := 0; t < s2; t++ {
-			rhs[m.tileNode(c, t)] += p * m.density[t]
-		}
-	}
+	rhs := m.assembleRHS(corePower)
 	sol := make([]float64, m.nNodes)
+	//lint:ignore checked-solve energy-accounting diagnostic on already-validated powers; SteadyStateChecked guards the production path
 	m.luG.Solve(sol, rhs)
 	return sol
 }

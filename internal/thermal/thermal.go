@@ -217,11 +217,13 @@ func New(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 // sparse path serialises on the solver's warm-start state.
 func (m *Model) solveSteady(dst, rhs []float64) {
 	if m.luG != nil {
+		//lint:ignore checked-solve deliberate unchecked fast path; guarded callers go through solveSteadyChecked
 		m.luG.Solve(dst, rhs)
 		return
 	}
 	m.cgMu.Lock()
 	defer m.cgMu.Unlock()
+	//lint:ignore checked-solve deliberate unchecked fast path; guarded callers go through solveSteadyChecked
 	if _, ok := m.cg.Solve(dst, rhs); !ok {
 		// The conductance matrix is SPD and well conditioned; failure
 		// here indicates a programming error, not a numerical edge.
@@ -245,6 +247,7 @@ func (m *Model) solveSteadyChecked(dst, rhs []float64) error {
 	}
 	m.cgMu.Lock()
 	defer m.cgMu.Unlock()
+	//lint:ignore checked-solve CG has no Checked variant; rhs and dst are AllFinite-guarded on both sides of this call
 	if _, ok := m.cg.Solve(dst, rhs); !ok {
 		return fmt.Errorf("thermal: CG did not converge on the steady-state system")
 	}
@@ -412,9 +415,11 @@ func (tr *Transient) Step(corePower []float64) {
 		tr.rhs[m.dieNode(c)] += p
 	}
 	if tr.lu != nil {
+		//lint:ignore checked-solve deliberate unchecked fast path; guarded callers use StepChecked
 		tr.lu.Solve(tr.state, tr.rhs)
 		return
 	}
+	//lint:ignore checked-solve deliberate unchecked fast path; guarded callers use StepChecked
 	if _, ok := tr.cg.Solve(tr.state, tr.rhs); !ok {
 		panic("thermal: CG did not converge on the transient step")
 	}
@@ -444,6 +449,7 @@ func (tr *Transient) StepChecked(corePower []float64) error {
 	if !numeric.AllFinite(tr.rhs) {
 		return fmt.Errorf("thermal: transient step: %w", numeric.ErrNonFinite)
 	}
+	//lint:ignore checked-solve CG has no Checked variant; rhs and state are AllFinite-guarded on both sides of this call
 	if _, ok := tr.cg.Solve(tr.state, tr.rhs); !ok {
 		return fmt.Errorf("thermal: CG did not converge on the transient step")
 	}

@@ -47,6 +47,7 @@ type PopulationResult struct {
 // aggregated result is deterministic regardless of scheduling because
 // results are collected in seed order.
 func (s *System) RunPopulation(baseSeed int64, chips int, p Policy) (*PopulationResult, error) {
+	//lint:ignore ctxfirst compatibility wrapper: context-free callers get the uncancellable root by design
 	return s.RunPopulationContext(context.Background(), baseSeed, chips, p)
 }
 
