@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke fmt
+.PHONY: build test race lint fuzz-smoke fmt bench
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,11 @@ fuzz-smoke:
 
 fmt:
 	gofmt -w .
+
+# Epoch hot-path benchmarks → committed JSON baseline. BENCHTIME=1x gives
+# a fast smoke run (CI); raise it (e.g. 2s) for a stable local baseline.
+BENCHTIME ?= 2s
+bench:
+	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkSingleChipEpoch' \
+		-benchmem -benchtime $(BENCHTIME) | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+	@cat BENCH_PR5.json

@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` output (read from stdin)
+// into a small JSON baseline document, so benchmark numbers can be
+// committed and diffed across PRs without parsing free-form text twice.
+//
+// Usage:
+//
+//	go test ./internal/sim -bench . -benchmem | go run ./cmd/benchjson > BENCH_PR5.json
+//
+// The document records the environment (go version, GOMAXPROCS, the cpu
+// line go test prints), every benchmark result, and — for benchmark
+// families with workers=N sub-benchmarks — the speedup of each worker
+// count relative to that family's workers=1 run. On a single-core
+// machine the speedups hover around 1.0; that is the honest baseline,
+// not a failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the committed baseline shape.
+type Document struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	CPU        string   `json:"cpu,omitempty"`
+	Package    string   `json:"package,omitempty"`
+	Results    []Result `json:"results"`
+	// Speedups maps "family/workers=N" → ns/op(workers=1) / ns/op(workers=N)
+	// within the same benchmark family. Values near 1.0 on single-core
+	// hosts are expected; the determinism suite guarantees the outputs
+	// are identical regardless.
+	Speedups map[string]float64 `json:"speedups_vs_workers1,omitempty"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkSingleChipEpoch/workers=2-8   97   12034567 ns/op   1234 B/op   56 allocs/op"
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	doc := Document{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc.Speedups = speedups(doc.Results)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// speedups computes, for every "Family/workers=N" benchmark, the ratio of
+// its family's workers=1 time to its own.
+func speedups(results []Result) map[string]float64 {
+	base := make(map[string]float64) // family → workers=1 ns/op
+	for _, r := range results {
+		if fam, ok := splitWorkers(r.Name); ok && strings.HasSuffix(r.Name, "workers=1") {
+			base[fam] = r.NsPerOp
+		}
+	}
+	out := make(map[string]float64)
+	for _, r := range results {
+		fam, ok := splitWorkers(r.Name)
+		if !ok || strings.HasSuffix(r.Name, "workers=1") {
+			continue
+		}
+		if b, ok := base[fam]; ok && r.NsPerOp > 0 {
+			out[r.Name] = round3(b / r.NsPerOp)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// splitWorkers returns the family name of a "Family/workers=N" benchmark.
+func splitWorkers(name string) (string, bool) {
+	i := strings.LastIndex(name, "/workers=")
+	if i < 0 {
+		return "", false
+	}
+	return name[:i], true
+}
+
+func round3(x float64) float64 {
+	return float64(int64(x*1000+0.5)) / 1000
+}

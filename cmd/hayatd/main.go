@@ -6,10 +6,10 @@
 //
 // Usage:
 //
-//	hayatd [-addr :8080] [-workers N] [-queue N] [-data DIR] [-drain 30s]
-//	       [-journal FILE] [-checkpoints DIR] [-checkpoint-every N]
-//	       [-failpoints SPECS] [-max-client-rps R] [-default-deadline D]
-//	       [-shed-start F]
+//	hayatd [-addr :8080] [-workers N] [-sim-workers N] [-queue N]
+//	       [-data DIR] [-drain 30s] [-journal FILE] [-checkpoints DIR]
+//	       [-checkpoint-every N] [-failpoints SPECS] [-max-client-rps R]
+//	       [-default-deadline D] [-shed-start F] [-pprof-addr ADDR]
 //
 // With -journal, accepted jobs are write-ahead journalled and re-enqueued
 // (under their original IDs) after a crash; with -checkpoints, recovered
@@ -17,6 +17,11 @@
 // -failpoints (or the HAYAT_FAILPOINTS environment variable) arms fault
 // injection for crash drills, e.g.
 // "service.cache-read=prob(0.1),sim.thermal-solve=fail(3)".
+//
+// -sim-workers bounds the intra-epoch parallelism of each simulation
+// (0 = GOMAXPROCS, 1 = serial); results are bit-identical either way.
+// -pprof-addr serves net/http/pprof on a separate listener (keep it
+// private — bind to localhost).
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // jobs for the -drain grace period, then cancels the rest at their next
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers handlers on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +49,8 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		simWorkers = flag.Int("sim-workers", 1, "per-simulation intra-epoch parallelism (0: GOMAXPROCS, 1: serial)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled; keep it private)")
 		queue      = flag.Int("queue", 64, "bounded job-queue depth")
 		data       = flag.String("data", "", "directory for persisted results (empty: memory only)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
@@ -75,6 +83,7 @@ func main() {
 
 	srv, err := service.New(service.Options{
 		Workers:         *workers,
+		SimWorkers:      *simWorkers,
 		QueueDepth:      *queue,
 		DataDir:         *data,
 		JournalPath:     *journal,
@@ -99,6 +108,24 @@ func main() {
 		WriteTimeout:      *waitBudget,
 		IdleTimeout:       2 * time.Minute,
 	}
+	if *pprofAddr != "" {
+		// The pprof import registered its handlers on DefaultServeMux;
+		// serve them on a dedicated listener so profiling endpoints never
+		// share a port with the public API. Failure is fatal at startup
+		// (a typo'd address should not silently disable profiling).
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("pprof: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

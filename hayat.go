@@ -121,6 +121,13 @@ type Config struct {
 	// MigrationStallSeconds is the throughput cost of one DTM migration
 	// (0 disables the cost model; the default models a cache refill).
 	MigrationStallSeconds float64
+	// Workers bounds the intra-epoch parallelism of one simulation: 0
+	// uses GOMAXPROCS, 1 forces the serial path. It is an execution
+	// property, not a simulation parameter — results are bit-identical
+	// for every value — so it is excluded from serialisation and from
+	// result-cache keys (and cannot be set through the hayatd API; see
+	// the server's -sim-workers flag).
+	Workers int `json:"-"`
 }
 
 // DefaultConfig returns the paper's experimental setup: 8×8 cores, 50 %
@@ -184,6 +191,7 @@ func (c Config) simConfig() sim.Config {
 	sc.TurboMarginK = c.TurboMarginK
 	sc.SensorNoiseSigma = c.SensorNoiseSigma
 	sc.MigrationStallSeconds = c.MigrationStallSeconds
+	sc.Workers = c.Workers
 	if len(c.FreqLadderGHz) > 0 {
 		levels := make(dvfs.Levels, len(c.FreqLadderGHz))
 		for i, g := range c.FreqLadderGHz {
@@ -218,7 +226,16 @@ type System struct {
 	pm   power.Model
 	gen  *variation.Generator
 	arts *ArtifactCache
+
+	stageObs sim.StageObserver
 }
+
+// SetStageObserver installs a per-stage epoch timing hook (see
+// sim.StageObserver) on every engine subsequently created from this
+// System's chips. Call it before handing chips out; it is not safe to
+// call concurrently with runs. A nil observer (the default) costs
+// nothing.
+func (s *System) SetStageObserver(obs sim.StageObserver) { s.stageObs = obs }
 
 // NewSystem validates the configuration and assembles the platform
 // models.
@@ -497,7 +514,12 @@ func (c *Chip) newEngine(p Policy) (*sim.Engine, error) {
 		return nil, err
 	}
 	sc.DutyMode = dm
-	return sim.New(sc, pol, c.chip, c.sys.tm, c.sys.pm, c.pred, c.tab)
+	eng, err := sim.New(sc, pol, c.chip, c.sys.tm, c.sys.pm, c.pred, c.tab)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetStageObserver(c.sys.stageObs)
+	return eng, nil
 }
 
 // RunLifetimeTraced is RunLifetime with a fine-grained trace: when trace

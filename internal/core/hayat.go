@@ -27,8 +27,21 @@ import (
 	"sort"
 
 	"github.com/kit-ces/hayat/internal/mapping"
+	"github.com/kit-ces/hayat/internal/parallel"
 	"github.com/kit-ces/hayat/internal/policy"
 	"github.com/kit-ces/hayat/internal/workload"
+)
+
+// Chunk grains for the parallel loops inside place (see internal/parallel
+// for the determinism contract: boundaries depend only on (n, grain)).
+const (
+	// candGrain chunks the per-thread candidate evaluation; each
+	// candidate costs O(n) predictor and aging-table work, so small
+	// chunks still amortise dispatch.
+	candGrain = 4
+	// cacheGrain chunks the per-core aging-cache refresh; each entry is
+	// a table bisection (~60 trilinear lookups).
+	cacheGrain = 8
 )
 
 // Config holds the Hayat tuning constants (Section V).
@@ -209,19 +222,37 @@ func (h *Hayat) place(ctx *policy.Context, existing *mapping.Assignment, threads
 
 	// Cache the per-core effective age at the base temperature once per
 	// Map call; candidate evaluation then needs only forward lookups.
+	// Entries are independent (disjoint index writes over an immutable
+	// table), so the refresh chunks across the pool.
+	pw := ctx.Workers
+	if pw < 1 {
+		pw = 1
+	}
+	pool := parallel.New(pw)
 	yEq := make([]float64, n)
 	baselineHNext := make([]float64, n)
 	refreshAgingCache := func() {
-		for i := 0; i < n; i++ {
-			d := duty[i]
-			yEq[i] = ctx.AgingTable.EffectiveAge(base[i], d, ctx.Health[i].Factor)
-			baselineHNext[i] = h.lookupNext(ctx, base[i], d, yEq[i])
-		}
+		pool.For(n, cacheGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d := duty[i]
+				yEq[i] = ctx.AgingTable.EffectiveAge(base[i], d, ctx.Health[i].Factor)
+				baselineHNext[i] = h.lookupNext(ctx, base[i], d, yEq[i])
+			}
+		})
 	}
 	refreshAgingCache()
 
 	var result policy.Result
-	tNext := make([]float64, n)
+	// Candidate evaluation is pure given the partial-mapping state (base,
+	// on, duty, aging cache), so candidates chunk across the pool: each
+	// evaluation writes only its own slot, workers reuse per-slot tNext
+	// scratch, and the slots are compacted in ascending core order — the
+	// exact order the serial loop appends in, so the stable sort below
+	// sees an identical input sequence for any worker count.
+	slots := make([]candidate, n)
+	taken := make([]bool, n)
+	scratch := make([][]float64, pool.Workers())
+	cands := make([]candidate, 0, n)
 
 	for _, t := range order {
 		if asg.NumAssigned() >= ctx.MaxOnCores {
@@ -235,87 +266,104 @@ func (h *Hayat) place(ctx *policy.Context, existing *mapping.Assignment, threads
 		}
 		dynP := ctx.ThreadDynPower(t)
 		tDuty := ctx.DutyMode.Duty(t)
+		numAssigned := asg.NumAssigned()
 
-		var cands []candidate
+		for i := range taken {
+			taken[i] = false
+		}
+		pool.ForWorker(n, candGrain, func(slot, lo, hi int) {
+			tNext := scratch[slot]
+			if tNext == nil {
+				tNext = make([]float64, n)
+				scratch[slot] = tNext
+			}
+			for cand := lo; cand < hi; cand++ {
+				if on[cand] || ctx.FMax[cand] < reqF {
+					continue
+				}
+				addPower := ctx.Predictor.CandidatePower(cand, dynP, base[cand])
+				ctx.Predictor.DeltaPredict(tNext, base, cand, addPower)
+
+				// Eq. 4 admission: every core must stay below T_safe.
+				tMax := 0.0
+				violates := false
+				for i := 0; i < n; i++ {
+					if tNext[i] > tMax {
+						tMax = tNext[i]
+					}
+					if tNext[i] > ctx.TSafe {
+						violates = true
+						break
+					}
+				}
+				if violates {
+					continue
+				}
+
+				// estimateNextHealth: re-evaluate only thermally affected
+				// cores; the rest keep their baseline prediction.
+				hSum := 0.0
+				for i := 0; i < n; i++ {
+					dT := tNext[i] - base[i]
+					if i == cand {
+						// The candidate changes both temperature and duty.
+						yc := ctx.AgingTable.EffectiveAge(tNext[i], tDuty, ctx.Health[i].Factor)
+						hSum += h.lookupNext(ctx, tNext[i], tDuty, yc)
+						continue
+					}
+					if h.cfg.AffectedDeltaK > 0 && dT < h.cfg.AffectedDeltaK {
+						hSum += baselineHNext[i]
+						continue
+					}
+					hSum += h.lookupNext(ctx, tNext[i], duty[i], yEq[i])
+				}
+				hAvgNext := hSum / float64(n)
+
+				yc := ctx.AgingTable.EffectiveAge(tNext[cand], tDuty, ctx.Health[cand].Factor)
+				hCandNext := h.lookupNext(ctx, tNext[cand], tDuty, yc)
+				hCandNow := ctx.Health[cand].Factor
+
+				// Eq. 9 plus the DCM-optimisation spread term (see Config).
+				dfGHz := (ctx.FMax[cand] - reqF) / 1e9
+				wFreq := h.cfg.WMax
+				if dfGHz > 0 {
+					wFreq = math.Min(h.cfg.WMax, alpha/dfGHz)
+				}
+				spread := 0.0
+				if h.cfg.SpreadWeight > 0 {
+					dist := h.cfg.SpreadCap
+					if numAssigned == 0 {
+						// No anchor yet: seed the DCM at the coolest region.
+						dist = h.cfg.SpreadCap
+						if ctx.Temps[cand] > ctx.TSafe-2*(ctx.TSafe-ctx.Predictor.Ambient())/3 {
+							dist = 0
+						}
+					} else {
+						for i := 0; i < n; i++ {
+							if !on[i] {
+								continue
+							}
+							if d := ctx.Chip.Floorplan.ManhattanDistance(cand, i); d < dist {
+								dist = d
+							}
+						}
+					}
+					spread = h.cfg.SpreadWeight * float64(dist)
+				}
+				w := wFreq + beta*hCandNext/hCandNow + spread - h.cfg.WastePenaltyPerGHz*dfGHz
+				if ctx.PrevOn != nil && ctx.PrevOn[cand] {
+					w += h.cfg.IncumbentWeight
+				}
+
+				slots[cand] = candidate{core: cand, weight: w, hAvgNext: hAvgNext, tMaxNext: tMax}
+				taken[cand] = true
+			}
+		})
+		cands = cands[:0]
 		for cand := 0; cand < n; cand++ {
-			if on[cand] || ctx.FMax[cand] < reqF {
-				continue
+			if taken[cand] {
+				cands = append(cands, slots[cand])
 			}
-			addPower := ctx.Predictor.CandidatePower(cand, dynP, base[cand])
-			ctx.Predictor.DeltaPredict(tNext, base, cand, addPower)
-
-			// Eq. 4 admission: every core must stay below T_safe.
-			tMax := 0.0
-			violates := false
-			for i := 0; i < n; i++ {
-				if tNext[i] > tMax {
-					tMax = tNext[i]
-				}
-				if tNext[i] > ctx.TSafe {
-					violates = true
-					break
-				}
-			}
-			if violates {
-				continue
-			}
-
-			// estimateNextHealth: re-evaluate only thermally affected
-			// cores; the rest keep their baseline prediction.
-			hSum := 0.0
-			for i := 0; i < n; i++ {
-				dT := tNext[i] - base[i]
-				if i == cand {
-					// The candidate changes both temperature and duty.
-					yc := ctx.AgingTable.EffectiveAge(tNext[i], tDuty, ctx.Health[i].Factor)
-					hSum += h.lookupNext(ctx, tNext[i], tDuty, yc)
-					continue
-				}
-				if h.cfg.AffectedDeltaK > 0 && dT < h.cfg.AffectedDeltaK {
-					hSum += baselineHNext[i]
-					continue
-				}
-				hSum += h.lookupNext(ctx, tNext[i], duty[i], yEq[i])
-			}
-			hAvgNext := hSum / float64(n)
-
-			yc := ctx.AgingTable.EffectiveAge(tNext[cand], tDuty, ctx.Health[cand].Factor)
-			hCandNext := h.lookupNext(ctx, tNext[cand], tDuty, yc)
-			hCandNow := ctx.Health[cand].Factor
-
-			// Eq. 9 plus the DCM-optimisation spread term (see Config).
-			dfGHz := (ctx.FMax[cand] - reqF) / 1e9
-			wFreq := h.cfg.WMax
-			if dfGHz > 0 {
-				wFreq = math.Min(h.cfg.WMax, alpha/dfGHz)
-			}
-			spread := 0.0
-			if h.cfg.SpreadWeight > 0 {
-				dist := h.cfg.SpreadCap
-				if asg.NumAssigned() == 0 {
-					// No anchor yet: seed the DCM at the coolest region.
-					dist = h.cfg.SpreadCap
-					if ctx.Temps[cand] > ctx.TSafe-2*(ctx.TSafe-ctx.Predictor.Ambient())/3 {
-						dist = 0
-					}
-				} else {
-					for i := 0; i < n; i++ {
-						if !on[i] {
-							continue
-						}
-						if d := ctx.Chip.Floorplan.ManhattanDistance(cand, i); d < dist {
-							dist = d
-						}
-					}
-				}
-				spread = h.cfg.SpreadWeight * float64(dist)
-			}
-			w := wFreq + beta*hCandNext/hCandNow + spread - h.cfg.WastePenaltyPerGHz*dfGHz
-			if ctx.PrevOn != nil && ctx.PrevOn[cand] {
-				w += h.cfg.IncumbentWeight
-			}
-
-			cands = append(cands, candidate{core: cand, weight: w, hAvgNext: hAvgNext, tMaxNext: tMax})
 		}
 		if len(cands) == 0 {
 			result.Unmapped = append(result.Unmapped, t)

@@ -1,0 +1,40 @@
+// Package parallel is the golden fixture for the goroutine-hygiene
+// rule's second scope (import paths containing internal/parallel): the
+// worker-pool primitive must join every goroutine it spawns before
+// returning, so untracked spawns are flagged exactly as in
+// internal/service.
+package parallel
+
+import "sync"
+
+// forChunks models the pool's fan-out: Add before spawn, caller joins.
+func forChunks(workers int, body func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for slot := 1; slot < workers; slot++ {
+		go func() {
+			defer wg.Done()
+			body(slot)
+		}()
+	}
+	body(0)
+	wg.Wait()
+}
+
+// leakyFor is the violation a pool must never contain: the spawned
+// worker has no WaitGroup, so For would return before its chunks ran.
+func leakyFor(workers int, body func(int)) {
+	for slot := 1; slot < workers; slot++ {
+		go body(slot) // want `fire-and-forget goroutine`
+	}
+	body(0)
+}
+
+// resultLeak is flagged even though a channel exists: the rule only
+// recognises WaitGroup joins, and a pool that needs an exemption must
+// justify it with a //lint:ignore.
+func resultLeak(out chan int) {
+	go func() { // want `fire-and-forget goroutine`
+		out <- 1
+	}()
+}

@@ -52,11 +52,13 @@ type Summary struct {
 	PerChipAvgFMaxAging  []float64
 }
 
-// DTMStats describes the per-chip DTM-event distribution.
-func (s Summary) DTMStats() stats.Description { return stats.Describe(s.PerChipDTM) }
+// DTMStats describes the per-chip DTM-event distribution. It errors on
+// non-finite samples (which would indicate a corrupted Result).
+func (s Summary) DTMStats() (stats.Description, error) { return stats.Describe(s.PerChipDTM) }
 
 // TempStats describes the per-chip temperature-over-ambient distribution.
-func (s Summary) TempStats() stats.Description { return stats.Describe(s.PerChipTempOverAmb) }
+// It errors on non-finite samples.
+func (s Summary) TempStats() (stats.Description, error) { return stats.Describe(s.PerChipTempOverAmb) }
 
 // AvgFMaxAgingCI returns a bootstrap 95 % confidence interval for the
 // mean per-chip average-fmax aging (Hz), deterministic in the population.

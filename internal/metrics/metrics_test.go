@@ -188,11 +188,17 @@ func TestPerChipDistributions(t *testing.T) {
 	if len(s.PerChipDTM) != 2 || s.PerChipDTM[0] != 4 || s.PerChipDTM[1] != 8 {
 		t.Fatalf("per-chip DTM = %v", s.PerChipDTM)
 	}
-	d := s.DTMStats()
+	d, err := s.DTMStats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.N != 2 || d.Mean != 6 {
 		t.Fatalf("DTM stats = %+v", d)
 	}
-	ts := s.TempStats()
+	ts, err := s.TempStats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ts.Mean != 20 {
 		t.Fatalf("temp stats = %+v", ts)
 	}

@@ -1,0 +1,191 @@
+// Package parallel provides a small, stdlib-only bounded worker pool and
+// deterministically chunked loop helpers for the per-epoch hot path.
+//
+// The package exists to make parallel execution *bit-identical* to serial
+// execution, which is a hard project invariant: cached results, journals
+// and checkpoint/resume recovery all compare serialised bytes, so the
+// numeric output of a run must not depend on Config.Workers. Three rules
+// make that hold:
+//
+//  1. Chunk boundaries are a pure function of (n, grain) — never of the
+//     worker count or of runtime scheduling. A loop split into chunks
+//     [0,g), [g,2g), … produces the same chunks whether one goroutine or
+//     eight execute them.
+//  2. Loop bodies only write disjoint indices (or chunk-local partials).
+//     Cross-chunk reductions are merged in ascending chunk order by
+//     MapReduce, so even non-associative float folds are reproducible.
+//  3. Randomness inside a chunk must derive from ChunkSeed(base, chunk),
+//     never from a shared sequential stream.
+//
+// A Pool with workers ≤ 1 (or a loop that fits in a single chunk) runs the
+// body inline on the calling goroutine — zero goroutines, zero overhead —
+// so the serial path stays exactly today's code path.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded degree-of-parallelism for chunked loops. The zero
+// value is serial. Pools are stateless between calls (goroutines are
+// spawned per call and always joined before return), so a Pool is safe
+// for concurrent use and costs nothing while idle.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most `workers` loop bodies concurrently.
+// workers == 0 selects GOMAXPROCS; workers == 1 (or negative) is serial.
+func New(workers int) *Pool {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's degree of parallelism. A nil pool is serial.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// chunks returns the number of fixed-size chunks that cover [0, n) at the
+// given grain. Boundaries depend only on (n, grain): chunk c spans
+// [c*grain, min((c+1)*grain, n)).
+func chunks(n, grain int) (count, g int) {
+	if grain < 1 {
+		grain = 1
+	}
+	if n <= 0 {
+		return 0, grain
+	}
+	return (n + grain - 1) / grain, grain
+}
+
+// panicError carries a panic value across the goroutine boundary so it can
+// be re-raised on the caller, preserving crash-on-bug semantics.
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return fmt.Sprintf("parallel: loop body panicked: %v", p.v) }
+
+// For executes fn(lo, hi) over every fixed chunk of [0, n). fn must only
+// write indices in [lo, hi) (plus goroutine-local state). Chunks are
+// claimed dynamically by worker goroutines, which is safe because chunk
+// *boundaries* are fixed and bodies are disjoint — execution order cannot
+// influence the result. Panics in fn propagate to the caller after all
+// workers have been joined.
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	p.ForWorker(n, grain, func(_ int, lo, hi int) { fn(lo, hi) })
+}
+
+// ForWorker is For with a worker slot index passed to the body. The slot
+// is in [0, Workers()) and is stable for the lifetime of one worker
+// goroutine within one call, which makes it suitable for indexing
+// per-worker scratch buffers. It carries no determinism guarantee: the
+// set of chunks a slot processes varies run to run, so slot-indexed state
+// must be pure scratch, never part of the result.
+func (p *Pool) ForWorker(n, grain int, fn func(slot, lo, hi int)) {
+	nchunks, g := chunks(n, grain)
+	if nchunks == 0 {
+		return
+	}
+	workers := p.Workers()
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers == 1 || nchunks == 1 {
+		// Inline fast path: identical to the pre-parallel serial code.
+		for c := 0; c < nchunks; c++ {
+			lo, hi := c*g, (c+1)*g
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+		}
+		return
+	}
+	var (
+		next int64 // next chunk to claim
+		wg   sync.WaitGroup
+		pan  atomic.Value // first panic, re-raised after join
+	)
+	body := func(slot int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				pan.CompareAndSwap(nil, &panicError{v: r})
+			}
+		}()
+		for {
+			c := int(atomic.AddInt64(&next, 1) - 1)
+			if c >= nchunks {
+				return
+			}
+			lo, hi := c*g, (c+1)*g
+			if hi > n {
+				hi = n
+			}
+			fn(slot, lo, hi)
+		}
+	}
+	wg.Add(workers - 1)
+	for slot := 1; slot < workers; slot++ {
+		go body(slot)
+	}
+	// The caller participates as slot 0 so a Workers()==N pool runs at
+	// most N bodies, not N+1.
+	wg.Add(1)
+	body(0)
+	wg.Wait()
+	if pe, ok := pan.Load().(*panicError); ok && pe != nil {
+		panic(pe.v)
+	}
+}
+
+// MapReduce computes a reduction over [0, n) with deterministic merge
+// order: mapChunk produces one partial per fixed chunk (workers run these
+// concurrently), then fold combines the partials strictly in ascending
+// chunk order on the calling goroutine. Because the fold order is fixed,
+// even non-associative reductions (float sums) are bit-identical to a
+// serial left fold over the same chunking. acc is the initial accumulator.
+func MapReduce[T any](p *Pool, n, grain int, acc T, mapChunk func(lo, hi int) T, fold func(acc, partial T) T) T {
+	nchunks, g := chunks(n, grain)
+	if nchunks == 0 {
+		return acc
+	}
+	partials := make([]T, nchunks)
+	p.For(nchunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			clo, chi := c*g, (c+1)*g
+			if chi > n {
+				chi = n
+			}
+			partials[c] = mapChunk(clo, chi)
+		}
+	})
+	for c := 0; c < nchunks; c++ {
+		acc = fold(acc, partials[c])
+	}
+	return acc
+}
+
+// ChunkSeed derives an independent, deterministic RNG seed for one chunk
+// of a parallel loop from a base seed. It is a splitmix64 step: adjacent
+// chunk indices yield statistically unrelated seeds, and the mapping
+// depends only on (base, chunk) so replays and resumed runs see the same
+// streams. Loop bodies that need randomness must seed from this rather
+// than sharing a sequential generator across chunks.
+func ChunkSeed(base int64, chunk int) int64 {
+	z := uint64(base) + (uint64(chunk)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,209 @@
+package parallel
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewWorkerCounts(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != 1 {
+		t.Fatalf("New(-3).Workers() = %d, want 1", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d, want 5", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+func TestChunkBoundariesFixed(t *testing.T) {
+	// Chunk boundaries must be a pure function of (n, grain): every chunk
+	// is [c*grain, min((c+1)*grain, n)). Verify coverage is exact,
+	// disjoint, and ordered regardless of worker count.
+	for _, n := range []int{0, 1, 7, 64, 100, 1000} {
+		for _, grain := range []int{0, 1, 3, 16, 64, 4096} {
+			for _, workers := range []int{1, 2, 4, 13} {
+				covered := make([]int32, n)
+				New(workers).For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("n=%d grain=%d workers=%d: bad chunk [%d,%d)", n, grain, workers, lo, hi)
+					}
+					g := grain
+					if g < 1 {
+						g = 1
+					}
+					if lo%g != 0 {
+						t.Errorf("n=%d grain=%d: chunk start %d not a grain multiple", n, grain, lo)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&covered[i], 1)
+					}
+				})
+				for i, c := range covered {
+					if c != 1 {
+						t.Fatalf("n=%d grain=%d workers=%d: index %d covered %d times", n, grain, workers, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForDisjointWritesMatchSerial(t *testing.T) {
+	const n = 513
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i) * 1.25
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		got := make([]float64, n)
+		New(workers).For(n, 32, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = float64(i) * 1.25
+			}
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel For diverged from serial", workers)
+		}
+	}
+}
+
+func TestForWorkerSlotRange(t *testing.T) {
+	p := New(3)
+	var maxSlot int32
+	p.ForWorker(100, 1, func(slot, lo, hi int) {
+		if slot < 0 || slot >= p.Workers() {
+			t.Errorf("slot %d outside [0,%d)", slot, p.Workers())
+		}
+		for {
+			cur := atomic.LoadInt32(&maxSlot)
+			if int32(slot) <= cur || atomic.CompareAndSwapInt32(&maxSlot, cur, int32(slot)) {
+				break
+			}
+		}
+	})
+}
+
+func TestMapReduceOrderedFold(t *testing.T) {
+	// A non-associative float fold must be bit-identical across worker
+	// counts because partials are folded in ascending chunk order.
+	const n = 1000
+	v := make([]float64, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range v {
+		v[i] = rng.NormFloat64() * 1e10
+	}
+	sum := func(p *Pool) float64 {
+		return MapReduce(p, n, 64, 0.0,
+			func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += v[i]
+				}
+				return s
+			},
+			func(acc, partial float64) float64 { return acc + partial })
+	}
+	want := sum(New(1))
+	for _, workers := range []int{2, 4, 7, runtime.GOMAXPROCS(0)} {
+		if got := sum(New(workers)); got != want {
+			t.Fatalf("workers=%d: MapReduce sum %v != serial %v", workers, got, want)
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(New(4), 0, 8, 17,
+		func(lo, hi int) int { t.Fatal("mapChunk called for n=0"); return 0 },
+		func(acc, p int) int { return acc + p })
+	if got != 17 {
+		t.Fatalf("MapReduce over empty range = %d, want initial acc 17", got)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			New(workers).For(100, 1, func(lo, hi int) {
+				if lo == 50 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestGoroutinesJoined(t *testing.T) {
+	// After For returns, no pool goroutines may still be running: a
+	// subsequent serial mutation of the shared slice must not race.
+	// (The -race CI job gives this test its teeth.)
+	buf := make([]int, 4096)
+	p := New(8)
+	for iter := 0; iter < 50; iter++ {
+		p.For(len(buf), 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i]++
+			}
+		})
+		for i := range buf {
+			buf[i]++ // serial write: races iff a worker leaked
+		}
+	}
+	for i, v := range buf {
+		if v != 100 {
+			t.Fatalf("buf[%d] = %d, want 100", i, v)
+		}
+	}
+}
+
+func TestChunkSeedDeterministicAndDistinct(t *testing.T) {
+	if ChunkSeed(1, 0) != ChunkSeed(1, 0) {
+		t.Fatal("ChunkSeed not deterministic")
+	}
+	seen := map[int64]int{}
+	for chunk := 0; chunk < 1000; chunk++ {
+		s := ChunkSeed(12345, chunk)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ChunkSeed collision: chunks %d and %d -> %d", prev, chunk, s)
+		}
+		seen[s] = chunk
+	}
+	if ChunkSeed(1, 5) == ChunkSeed(2, 5) {
+		t.Fatal("ChunkSeed ignores base seed")
+	}
+}
+
+func TestChunkSeedStreamsReproducible(t *testing.T) {
+	// The documented usage pattern: per-chunk RNGs derived via ChunkSeed
+	// yield identical streams regardless of worker count.
+	const n, grain = 256, 32
+	draw := func(workers int) []float64 {
+		out := make([]float64, n)
+		New(workers).For(n, grain, func(lo, hi int) {
+			rng := rand.New(rand.NewSource(ChunkSeed(99, lo/grain)))
+			for i := lo; i < hi; i++ {
+				out[i] = rng.NormFloat64()
+			}
+		})
+		return out
+	}
+	want := draw(1)
+	for _, workers := range []int{2, 4} {
+		if !reflect.DeepEqual(draw(workers), want) {
+			t.Fatalf("workers=%d: ChunkSeed-derived streams diverged", workers)
+		}
+	}
+}

@@ -81,6 +81,11 @@ type Context struct {
 	// spreads NBTI stress onto fresh cores whose y^(1/6) aging is at its
 	// steepest, accelerating chip-average degradation.
 	PrevOn []bool
+	// Workers bounds the parallelism a policy may use internally (see
+	// internal/parallel): 0 or 1 means serial. Like the engine's
+	// Config.Workers it is an execution hint only — a policy's decision
+	// must be bit-identical for every value.
+	Workers int
 }
 
 // Validate checks the context for structural consistency.

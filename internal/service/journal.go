@@ -23,6 +23,7 @@ const (
 	fpJournalReplay  = "service.journal-replay"
 	fpJournalAppend  = "service.journal-append"
 	fpJournalCompact = "service.journal-compact"
+	fpJournalDirSync = "service.journal-dirsync"
 	fpJournalClose   = "service.journal-close"
 )
 
@@ -295,6 +296,12 @@ func (j *journal) compactLocked() error {
 	if err == nil {
 		err = os.Rename(tmp.Name(), j.path)
 	}
+	if err == nil {
+		// Rename alone only updates the directory in memory: until the
+		// directory entry itself is fsynced, a power loss can resurrect
+		// the pre-compaction file — or leave no journal at all.
+		err = syncDir(filepath.Dir(j.path))
+	}
 	if err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: journal compact: %w", err)
@@ -305,6 +312,27 @@ func (j *journal) compactLocked() error {
 	}
 	j.f = f
 	j.dead = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems reject fsync on directories; those errors are still
+// surfaced — the caller decides whether durability is best-effort.
+func syncDir(dir string) error {
+	if ferr := faultinject.Hit(fpJournalDirSync); ferr != nil {
+		return fmt.Errorf("service: journal dir sync: %w", ferr)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("service: journal dir sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("service: journal dir sync: %w", err)
+	}
 	return nil
 }
 

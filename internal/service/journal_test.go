@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"github.com/kit-ces/hayat/internal/faultinject"
 )
 
 func testRequest(seed int64) request {
@@ -133,5 +136,45 @@ func TestJournalCompaction(t *testing.T) {
 	}
 	if len(pending) != 1 || pending[0].ID != "job-999999" {
 		t.Fatalf("post-compaction pending: %+v", pending)
+	}
+}
+
+// The directory fsync after the compaction rename is a real durability
+// seam: it must be reachable (the failpoint fires) and its failure must
+// surface as a compaction error, not vanish.
+func TestJournalCompactionDirSyncFailure(t *testing.T) {
+	defer faultinject.DisarmAll()
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(1)
+	if err := j.submitted("job-000001", req.key(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultinject.ArmSpecs(fpJournalDirSync + "=always"); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	cerr := j.compactLocked()
+	j.mu.Unlock()
+	if cerr == nil {
+		t.Fatal("compaction succeeded with the dir-sync failpoint armed")
+	}
+	if !strings.Contains(cerr.Error(), "journal compact") || !strings.Contains(cerr.Error(), "dir sync") {
+		t.Fatalf("error %v does not identify the dir-sync seam", cerr)
+	}
+	faultinject.DisarmAll()
+
+	// The journal data itself must have survived the failed fsync (the
+	// rename already happened; only the durability guarantee was lost).
+	_, pending, corrupt, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 || len(pending) != 1 || pending[0].ID != "job-000001" {
+		t.Fatalf("post-failure replay: pending %+v, corrupt %d", pending, corrupt)
 	}
 }

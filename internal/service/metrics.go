@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/kit-ces/hayat/internal/sim"
 )
 
 // Counter is an expvar-style monotonic (or up/down, for gauges) counter.
@@ -132,6 +134,29 @@ type Metrics struct {
 	Simulate  Histogram // engine run
 	Encode    Histogram // result serialisation
 	Admission Histogram // submit entry → admission decision
+
+	// Per-epoch simulation stage timings (sim.StageObserver): cumulative
+	// wall-clock nanoseconds and observation counts for the mapping,
+	// thermal and aging phases of every epoch executed by this server.
+	EpochStageNanos  [3]Counter
+	EpochStageCounts [3]Counter
+}
+
+// ObserveStage is a sim.StageObserver: it accumulates per-epoch stage
+// durations into cheap atomic counters (histograms would contend — this
+// hook fires three times per epoch on simulation goroutines).
+func (m *Metrics) ObserveStage(stage sim.Stage, d time.Duration) {
+	if stage < 0 || int(stage) >= len(m.EpochStageNanos) {
+		return
+	}
+	m.EpochStageNanos[stage].Add(int64(d))
+	m.EpochStageCounts[stage].Add(1)
+}
+
+// EpochStageSnapshot is one simulation stage's accumulated timing.
+type EpochStageSnapshot struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_s"`
 }
 
 // MetricsSnapshot is the JSON shape served on /metrics.
@@ -185,6 +210,9 @@ type MetricsSnapshot struct {
 
 	SimRuns      int64                        `json:"sim_runs"`
 	StageSeconds map[string]HistogramSnapshot `json:"stage_seconds"`
+	// EpochStages breaks simulated wall-clock down by per-epoch phase
+	// (mapping / thermal / aging) across all runs.
+	EpochStages map[string]EpochStageSnapshot `json:"epoch_stages"`
 }
 
 // FailpointStats is one armed failpoint's activity, as served on /metrics.
@@ -227,6 +255,13 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		"simulate":   m.Simulate.Snapshot(),
 		"encode":     m.Encode.Snapshot(),
 		"admission":  m.Admission.Snapshot(),
+	}
+	s.EpochStages = make(map[string]EpochStageSnapshot, len(sim.Stages()))
+	for _, st := range sim.Stages() {
+		s.EpochStages[st.String()] = EpochStageSnapshot{
+			Count:      m.EpochStageCounts[st].Value(),
+			SumSeconds: time.Duration(m.EpochStageNanos[st].Value()).Seconds(),
+		}
 	}
 	return s
 }

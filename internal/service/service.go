@@ -232,6 +232,12 @@ type Options struct {
 	// ClientWeights biases the weighted-round-robin dequeue; clients not
 	// listed get weight 1.
 	ClientWeights map[string]int
+	// SimWorkers bounds the intra-epoch parallelism of each simulation
+	// (hayat.Config.Workers): 0 uses GOMAXPROCS, 1 forces serial. It is
+	// a server execution property, applied after request keys are
+	// computed — results and cache keys are bit-identical for every
+	// value — and clients cannot influence it.
+	SimWorkers int
 	// Artifacts optionally shares platform artifacts (Cholesky factors,
 	// thermal LU, predictors, aging tables) with other components; by
 	// default the server creates its own cache.
@@ -1141,7 +1147,10 @@ func atomicWrite(path string, data []byte) error {
 	return err
 }
 
-// system returns the (cached) System for a canonical config.
+// system returns the (cached) System for a canonical config. The server's
+// SimWorkers setting and the epoch-stage metrics observer are applied
+// here, after the key is computed: both are execution properties that do
+// not influence results, so they must never differentiate cache entries.
 func (s *Server) system(cfg hayat.Config) (*hayat.System, error) {
 	key := configKey(cfg)
 	s.mu.Lock()
@@ -1151,6 +1160,12 @@ func (s *Server) system(cfg hayat.Config) (*hayat.System, error) {
 		s.systems[key] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() { e.sys, e.err = hayat.NewSystemWith(cfg, s.arts) })
+	e.once.Do(func() {
+		cfg.Workers = s.opts.SimWorkers
+		e.sys, e.err = hayat.NewSystemWith(cfg, s.arts)
+		if e.err == nil {
+			e.sys.SetStageObserver(s.met.ObserveStage)
+		}
+	})
 	return e.sys, e.err
 }

@@ -1,0 +1,25 @@
+package service
+
+// Workers is an execution property applied server-side (Options.SimWorkers),
+// never part of a request's identity: two requests differing only in the
+// Config.Workers field must hash to the same cache key, so a result computed
+// serially is served to parallel deployments and vice versa.
+
+import "testing"
+
+func TestWorkersInvariantCacheKeys(t *testing.T) {
+	base := NormalizeConfig(tinyCfg())
+	withWorkers := base
+	withWorkers.Workers = 8
+
+	if configKey(base) != configKey(withWorkers) {
+		t.Fatal("Config.Workers changed configKey — parallelism leaked into result identity")
+	}
+
+	reqA := request{Kind: KindLifetime, Config: base, Policy: "Hayat", Seed: 1, Chips: 1}
+	reqB := reqA
+	reqB.Config = withWorkers
+	if reqA.key() != reqB.key() {
+		t.Fatal("Config.Workers changed request.key — identical jobs would not coalesce")
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchConfig is one epoch of the default chip: Years = EpochYears so
+// each Run() executes exactly one mapping + thermal + aging cycle — the
+// unit the PR's parallelisation targets.
+func benchConfig(workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Years = cfg.EpochYears
+	cfg.Workers = workers
+	return cfg
+}
+
+// BenchmarkSingleChipEpoch measures the epoch hot path (Hayat policy,
+// default 8×8 floorplan) at several intra-epoch worker counts. The
+// results must be bit-identical across sub-benchmarks (see
+// determinism_test.go); only the wall clock may differ.
+func BenchmarkSingleChipEpoch(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := newEngine(b, benchConfig(workers), hayatPolicy(b), 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSingleChipEpochVAA is the baseline policy's epoch, for
+// comparing policy overhead (VAA has no candidate search, so it gains
+// less from parallelism).
+func BenchmarkSingleChipEpochVAA(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := newEngine(b, benchConfig(workers), vaaPolicy(b), 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// workerCounts are the parallelism levels the determinism suite compares
+// against the serial baseline. GOMAXPROCS is included so CI machines with
+// different core counts still exercise their native width.
+func workerCounts() []int {
+	counts := []int{2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+func resultBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The parallel epoch hot path must be bit-identical to serial execution:
+// same Result JSON, byte for byte, for every worker count. This is the
+// contract that lets Workers stay out of cache keys.
+func TestWorkersBitIdenticalResult(t *testing.T) {
+	cfg := shortConfig()
+	run := func(workers int, chipSeed int64, hayatPol bool) []byte {
+		c := cfg
+		c.Workers = workers
+		var e *Engine
+		if hayatPol {
+			e = newEngine(t, c, hayatPolicy(t), chipSeed)
+		} else {
+			e = newEngine(t, c, vaaPolicy(t), chipSeed)
+		}
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultBytes(t, r)
+	}
+	for _, hayatPol := range []bool{true, false} {
+		name := "vaa"
+		if hayatPol {
+			name = "hayat"
+		}
+		t.Run(name, func(t *testing.T) {
+			serial := run(1, 11, hayatPol)
+			for _, w := range workerCounts() {
+				if got := run(w, 11, hayatPol); !bytes.Equal(got, serial) {
+					t.Errorf("Workers:%d result differs from serial (len %d vs %d)", w, len(got), len(serial))
+				}
+			}
+			// Workers:0 (= GOMAXPROCS) must match too.
+			if got := run(0, 11, hayatPol); !bytes.Equal(got, serial) {
+				t.Error("Workers:0 result differs from serial")
+			}
+		})
+	}
+}
+
+// Checkpoints taken under parallel execution must serialise to the same
+// bytes as serial ones, and a run checkpointed at one worker count then
+// resumed at another must still reproduce the serial one-shot result.
+func TestWorkersBitIdenticalCheckpointAndResume(t *testing.T) {
+	cfg := shortConfig()
+	cfg.RemixEpochs = 2 // boundaries at 0 and 2
+
+	mk := func(workers int) *Engine {
+		c := cfg
+		c.Workers = workers
+		return newEngine(t, c, hayatPolicy(t), 23)
+	}
+
+	serialFull, err := mk(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialBytes := resultBytes(t, serialFull)
+
+	cpSerial, err := mk(1).RunCheckpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialCP bytes.Buffer
+	if err := WriteCheckpoint(&serialCP, cpSerial); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range workerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			cp, err := mk(w).RunCheckpoint(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteCheckpoint(&buf, cp); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), serialCP.Bytes()) {
+				t.Error("checkpoint bytes differ from serial")
+			}
+			// Cross-width resume: parallel checkpoint, parallel resume,
+			// compared against the serial one-shot run.
+			cp2, err := ReadCheckpoint(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := mk(w).Resume(cp2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resultBytes(t, resumed), serialBytes) {
+				t.Error("resumed parallel result differs from serial one-shot")
+			}
+			// And a serial resume of the parallel checkpoint.
+			cp3 := *cp
+			resumedSerial, err := mk(1).Resume(&cp3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resultBytes(t, resumedSerial), serialBytes) {
+				t.Error("serial resume of parallel checkpoint differs from serial one-shot")
+			}
+		})
+	}
+}
+
+// Workers is an execution property, not part of a simulation's identity:
+// it must never leak into serialised configs (and therefore cache keys).
+func TestWorkersExcludedFromConfigSerialization(t *testing.T) {
+	a := shortConfig()
+	b := shortConfig()
+	b.Workers = 8
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("Workers leaked into serialised sim.Config:\n %s\n %s", ja, jb)
+	}
+}

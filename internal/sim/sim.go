@@ -23,6 +23,7 @@ import (
 	"github.com/kit-ces/hayat/internal/dvfs"
 	"github.com/kit-ces/hayat/internal/faultinject"
 	"github.com/kit-ces/hayat/internal/mapping"
+	"github.com/kit-ces/hayat/internal/parallel"
 	"github.com/kit-ces/hayat/internal/policy"
 	"github.com/kit-ces/hayat/internal/power"
 	"github.com/kit-ces/hayat/internal/thermal"
@@ -103,6 +104,12 @@ type Config struct {
 	// the threads that were placed; it grows back (one thread per epoch,
 	// up to the profile's bounds) while everything fits.
 	Malleable bool
+	// Workers bounds the intra-epoch parallelism of one engine: 0 uses
+	// GOMAXPROCS, 1 runs fully serial. It is an execution property, not a
+	// simulation parameter — results are bit-identical for every value
+	// (see internal/parallel) — so it is excluded from serialisation and
+	// from every cache/identity key.
+	Workers int `json:"-"`
 }
 
 // DefaultConfig returns the paper's experimental settings: 10 years in
@@ -160,6 +167,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.FreqLevels.Validate(); err != nil {
 		return err
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative Workers")
 	}
 	return nil
 }
@@ -233,9 +243,11 @@ type Engine struct {
 	pm   power.Model
 	pred *thermpredict.Predictor
 	tab  *aging.Table3D
+	pool *parallel.Pool
 
 	trace      TraceSink
 	traceEvery int
+	observe    StageObserver
 }
 
 // New wires an engine. All dependencies must belong to the same chip.
@@ -253,7 +265,9 @@ func New(cfg Config, pol policy.Policy, chip *variation.Chip, tm *thermal.Model,
 	if chip.Floorplan.N() != tm.Floorplan().N() {
 		return nil, fmt.Errorf("sim: chip and thermal model disagree on core count")
 	}
-	return &Engine{cfg: cfg, pol: pol, chip: chip, tm: tm, pm: pm, pred: pred, tab: tab}, nil
+	e := &Engine{cfg: cfg, pol: pol, chip: chip, tm: tm, pm: pm, pred: pred, tab: tab}
+	e.pool = parallel.New(cfg.Workers)
+	return e, nil
 }
 
 // runState is the engine's resumable state between epochs.
@@ -372,6 +386,10 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 		// Policy decision at the epoch boundary, fed by the health
 		// monitors (current fmax, optionally noisy) and last measured
 		// temperatures.
+		// The noise draws stay serial: they consume one sequential RNG
+		// stream whose order is part of the result contract. (A parallel
+		// variant would need parallel.ChunkSeed-derived per-chunk streams,
+		// which would change existing outputs — not worth it for n draws.)
 		sensedFMax := fmax
 		if cfg.SensorNoiseSigma > 0 {
 			noiseRng := rand.New(rand.NewSource(cfg.MixSeed ^ (int64(ep)+1)*0x9E3779B9))
@@ -390,8 +408,11 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 			Health:   health, FMax: sensedFMax, Temps: temps,
 			FreqLevels: cfg.FreqLevels,
 			PrevOn:     prevOn,
+			Workers:    e.pool.Workers(),
 		}
+		t0 := e.stageStart()
 		mres, err := e.pol.Map(ctx, threads)
+		e.stageEnd(StageMapping, t0)
 		if err != nil {
 			return fmt.Errorf("sim: %s mapping failed at epoch %d: %w", e.pol.Name(), ep, err)
 		}
@@ -409,7 +430,9 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 		if ferr := faultinject.Hit("sim.thermal-solve"); ferr != nil {
 			return fmt.Errorf("sim: thermal window at epoch %d: %w", ep, ferr)
 		}
+		t0 = e.stageStart()
 		rec, werr := e.runWindow(ep, asg, mix, fmax, temps, dtmMgr, tr)
+		e.stageEnd(StageThermal, t0)
 		if werr != nil {
 			return fmt.Errorf("sim: thermal window at epoch %d: %w", ep, werr)
 		}
@@ -438,11 +461,18 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 
 		// Up-scale the window statistics to the epoch and advance aging:
 		// worst-case temperature and occupancy-weighted duty per core
-		// (Section IV-B step 3).
-		for i := 0; i < n; i++ {
-			health[i].Advance(e.tab, rec.worstTemp[i], rec.dutyAvg[i], cfg.EpochYears)
-			fmax[i] = e.chip.FMax0[i] * health[i].Factor
-		}
+		// (Section IV-B step 3). Each core's advance is independent (table
+		// lookups + bisection on immutable state), so the loop chunks
+		// across the pool with disjoint index writes — bit-identical to
+		// the serial order.
+		t0 = e.stageStart()
+		e.pool.For(n, agingGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				health[i].Advance(e.tab, rec.worstTemp[i], rec.dutyAvg[i], cfg.EpochYears)
+				fmax[i] = e.chip.FMax0[i] * health[i].Factor
+			}
+		})
+		e.stageEnd(StageAging, t0)
 
 		// Record.
 		er := EpochRecord{
@@ -606,26 +636,46 @@ func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix
 	return st, nil
 }
 
+// Chunk grains for the parallel per-core loops. Boundaries derive only
+// from (n, grain) — see internal/parallel — so these constants are part
+// of the determinism contract only insofar as changing them re-chunks the
+// work; the numeric output is unaffected either way because every body
+// writes disjoint indices.
+const (
+	// agingGrain is small: one aging advance costs a table bisection
+	// (~60 trilinear lookups), so even few-core chunks amortise the
+	// dispatch.
+	agingGrain = 8
+	// powerGrain is coarse: one core's power evaluation is tens of
+	// nanoseconds, so only large chips benefit from splitting; the
+	// default 8×8 chip yields two chunks.
+	powerGrain = 32
+)
+
 // corePowers fills pdyn (dynamic only) and total (dynamic + leakage /
 // gated leakage) for the current assignment, thread phases and
-// temperatures.
+// temperatures. Every iteration writes only pdyn[i]/total[i] and reads
+// state that is immutable during the call (assignment, phases, DTM
+// throttle flags, stall map), so the loop chunks across the pool.
 func (e *Engine) corePowers(pdyn, total []float64, asg *mapping.Assignment, dtmMgr *dtm.Manager, temps, fmax []float64, stall map[*workload.Thread]float64) {
-	for i := range pdyn {
-		th := asg.ThreadOn(i)
-		if th == nil {
-			pdyn[i] = 0
-			total[i] = e.pm.GatedLeakage
-			continue
+	e.pool.For(len(pdyn), powerGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			th := asg.ThreadOn(i)
+			if th == nil {
+				pdyn[i] = 0
+				total[i] = e.pm.GatedLeakage
+				continue
+			}
+			ph := th.Phase()
+			f := e.operatingFreq(th, i, fmax, temps) * dtmMgr.FrequencyFactor(i)
+			activity := ph.Activity
+			if stall != nil && stall[th] > 0 {
+				activity *= 0.5 // cache/state refill burns power without retiring work
+			}
+			pdyn[i] = e.pm.DynamicPower(f, activity)
+			total[i] = pdyn[i] + e.pm.CoreLeakage(e.chip.LeakFactor[i], temps[i], true)
 		}
-		ph := th.Phase()
-		f := e.operatingFreq(th, i, fmax, temps) * dtmMgr.FrequencyFactor(i)
-		activity := ph.Activity
-		if stall != nil && stall[th] > 0 {
-			activity *= 0.5 // cache/state refill burns power without retiring work
-		}
-		pdyn[i] = e.pm.DynamicPower(f, activity)
-		total[i] = pdyn[i] + e.pm.CoreLeakage(e.chip.LeakFactor[i], temps[i], true)
-	}
+	})
 }
 
 // adaptParallelism implements the malleable application model: each app

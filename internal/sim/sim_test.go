@@ -23,7 +23,7 @@ func shortConfig() Config {
 	return cfg
 }
 
-func newEngine(t *testing.T, cfg Config, pol policy.Policy, chipSeed int64) *Engine {
+func newEngine(t testing.TB, cfg Config, pol policy.Policy, chipSeed int64) *Engine {
 	t.Helper()
 	fx := testutil.NewFixture(t, chipSeed)
 	e, err := New(cfg, pol, fx.Chip, fx.Thermal, fx.Power, fx.Predictor, fx.Table)
@@ -33,7 +33,7 @@ func newEngine(t *testing.T, cfg Config, pol policy.Policy, chipSeed int64) *Eng
 	return e
 }
 
-func hayatPolicy(t *testing.T) policy.Policy {
+func hayatPolicy(t testing.TB) policy.Policy {
 	t.Helper()
 	h, err := core.New(core.DefaultConfig())
 	if err != nil {
@@ -42,7 +42,7 @@ func hayatPolicy(t *testing.T) policy.Policy {
 	return h
 }
 
-func vaaPolicy(t *testing.T) policy.Policy {
+func vaaPolicy(t testing.TB) policy.Policy {
 	t.Helper()
 	v, err := baseline.New(baseline.DefaultConfig())
 	if err != nil {

@@ -1,0 +1,61 @@
+package sim
+
+import "time"
+
+// Stage identifies one phase of the per-epoch loop for timing purposes.
+type Stage int
+
+const (
+	// StageMapping is the policy decision (DCM selection + thread
+	// placement) at the epoch boundary.
+	StageMapping Stage = iota
+	// StageThermal is the fine-grained transient window (power
+	// computation, implicit-Euler steps, DTM).
+	StageThermal
+	// StageAging is the per-core aging advance and fmax refresh.
+	StageAging
+	numStages
+)
+
+// String returns the stage's metrics label.
+func (s Stage) String() string {
+	switch s {
+	case StageMapping:
+		return "mapping"
+	case StageThermal:
+		return "thermal"
+	case StageAging:
+		return "aging"
+	default:
+		return "unknown"
+	}
+}
+
+// Stages lists every stage in execution order, for metrics exporters.
+func Stages() []Stage { return []Stage{StageMapping, StageThermal, StageAging} }
+
+// StageObserver receives the wall-clock duration of one stage of one
+// epoch. Observers run on the engine's goroutine and must be fast; they
+// see execution timings only — nothing an observer does can influence the
+// simulation result, which stays bit-identical with or without one.
+type StageObserver func(stage Stage, d time.Duration)
+
+// SetStageObserver installs (or clears, with nil) the per-stage timing
+// hook. Must be called before the run starts. A nil observer costs
+// nothing: the engine skips clock reads entirely.
+func (e *Engine) SetStageObserver(obs StageObserver) { e.observe = obs }
+
+// stageStart reads the clock only when an observer is installed.
+func (e *Engine) stageStart() time.Time {
+	if e.observe == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stageEnd reports the elapsed stage time to the observer, if any.
+func (e *Engine) stageEnd(s Stage, t0 time.Time) {
+	if e.observe != nil {
+		e.observe(s, time.Since(t0))
+	}
+}

@@ -11,7 +11,15 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"github.com/kit-ces/hayat/internal/numeric"
 )
+
+// errNonFinite wraps numeric.ErrNonFinite (the PR-3 hardening sentinel)
+// so errors.Is(err, numeric.ErrNonFinite) works on stats errors too.
+func errNonFinite(fn string) error {
+	return fmt.Errorf("stats: %s: non-finite input: %w", fn, numeric.ErrNonFinite)
+}
 
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(v []float64) float64 {
@@ -26,36 +34,48 @@ func Mean(v []float64) float64 {
 }
 
 // StdDev returns the sample standard deviation (n−1 denominator; 0 for
-// fewer than two values).
+// fewer than two values). The sum of squared deviations uses the
+// two-pass compensated form Σd² − (Σd)²/n (d = x − mean): the correction
+// term removes the first-pass mean's rounding error, which for
+// large-mean/small-variance samples otherwise produces a spuriously
+// negative variance that the final clamp would silently flatten to 0.
 func StdDev(v []float64) float64 {
 	if len(v) < 2 {
 		return 0
 	}
 	m := Mean(v)
-	s := 0.0
+	sum, comp := 0.0, 0.0
 	for _, x := range v {
 		d := x - m
-		s += d * d
+		sum += d * d
+		comp += d
 	}
-	return sqrt(s / float64(len(v)-1))
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
+	n := float64(len(v))
+	variance := (sum - comp*comp/n) / (n - 1)
+	if variance <= 0 {
+		// Only exact-rounding residue can land here now (constant or
+		// near-constant samples); true std dev is 0 to within precision.
 		return 0
 	}
-	return math.Sqrt(x)
+	return math.Sqrt(variance)
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
-// interpolation between order statistics. It panics on empty input or
-// out-of-range p.
+// interpolation between order statistics. It panics on empty input,
+// out-of-range p, or non-finite values: sort.Float64s leaves NaNs in
+// unspecified positions, so order statistics over such input are
+// garbage, and a quantile of ±Inf data is meaningless. Callers with
+// untrusted data should validate first (as BootstrapMeanCI and Describe
+// do, returning an error instead).
 func Percentile(v []float64, p float64) float64 {
 	if len(v) == 0 {
 		panic("stats: percentile of empty slice")
 	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	if !numeric.AllFinite(v) {
+		panic("stats: percentile of non-finite values")
 	}
 	s := append([]float64(nil), v...)
 	sort.Float64s(s)
@@ -89,6 +109,9 @@ func BootstrapMeanCI(v []float64, confidence float64, resamples int, seed int64)
 	if resamples < 10 {
 		return Interval{}, fmt.Errorf("stats: need ≥10 resamples, got %d", resamples)
 	}
+	if !numeric.AllFinite(v) {
+		return Interval{}, errNonFinite("bootstrap")
+	}
 	rng := rand.New(rand.NewSource(seed))
 	means := make([]float64, resamples)
 	for r := range means {
@@ -112,10 +135,16 @@ type Description struct {
 	Min, Median, Max float64
 }
 
-// Describe computes the summary (zero value for empty input).
-func Describe(v []float64) Description {
+// Describe computes the summary (zero value for empty input). Samples
+// containing NaN or ±Inf yield an error wrapping numeric.ErrNonFinite:
+// every field of the summary would otherwise be poisoned or silently
+// wrong (NaNs additionally sort unpredictably in the median).
+func Describe(v []float64) (Description, error) {
 	if len(v) == 0 {
-		return Description{}
+		return Description{}, nil
+	}
+	if !numeric.AllFinite(v) {
+		return Description{}, errNonFinite("describe")
 	}
 	d := Description{
 		N:      len(v),
@@ -132,5 +161,5 @@ func Describe(v []float64) Description {
 			d.Max = x
 		}
 	}
-	return d
+	return d, nil
 }

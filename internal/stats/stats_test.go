@@ -1,10 +1,13 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/kit-ces/hayat/internal/numeric"
 )
 
 func TestMeanAndStdDev(t *testing.T) {
@@ -111,12 +114,73 @@ func TestBootstrapValidation(t *testing.T) {
 }
 
 func TestDescribe(t *testing.T) {
-	d := Describe([]float64{1, 2, 3, 4, 5})
+	d, err := Describe([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.N != 5 || d.Mean != 3 || d.Median != 3 || d.Min != 1 || d.Max != 5 {
 		t.Fatalf("Describe = %+v", d)
 	}
-	if z := Describe(nil); z.N != 0 {
-		t.Fatal("empty describe should be zero")
+	z, err := Describe(nil)
+	if err != nil || z.N != 0 {
+		t.Fatalf("empty describe should be zero, got %+v, %v", z, err)
+	}
+}
+
+// Non-finite inputs must be rejected, never silently propagated: a NaN
+// sorts into an unspecified position and poisons every order statistic.
+func TestNonFiniteRejection(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := map[string][]float64{
+		"leading NaN":  {nan, 1, 2, 3},
+		"trailing NaN": {1, 2, 3, nan},
+		"+Inf":         {1, inf, 3},
+		"-Inf":         {1, -inf, 3},
+		"all NaN":      {nan, nan},
+	}
+	for name, v := range cases {
+		if _, err := Describe(v); err == nil {
+			t.Errorf("%s: Describe accepted non-finite input", name)
+		} else if !errors.Is(err, numeric.ErrNonFinite) {
+			t.Errorf("%s: Describe error %v does not wrap numeric.ErrNonFinite", name, err)
+		}
+		if _, err := BootstrapMeanCI(v, 0.95, 100, 1); err == nil {
+			t.Errorf("%s: BootstrapMeanCI accepted non-finite input", name)
+		} else if !errors.Is(err, numeric.ErrNonFinite) {
+			t.Errorf("%s: BootstrapMeanCI error %v does not wrap numeric.ErrNonFinite", name, err)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Percentile did not panic", name)
+				}
+			}()
+			Percentile(v, 50)
+		}()
+	}
+}
+
+// Large mean, tiny variance: the naive Σ(x−m)² form loses the variance
+// to the rounding error of the first-pass mean, and the old ≤0 clamp
+// flattened the result to exactly 0. The compensated form must recover
+// the true spread.
+func TestStdDevLargeMeanSmallVariance(t *testing.T) {
+	const base = 1e9
+	v := make([]float64, 1000)
+	for i := range v {
+		// Alternate ±0.5 around the huge base: true sample stddev is
+		// ~0.50025 (n−1 denominator), independent of the offset.
+		v[i] = base + 0.5*float64(1-2*(i%2))
+	}
+	got := StdDev(v)
+	want := math.Sqrt(0.25 * 1000 / 999)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("StdDev = %v, want %v (compensation failed)", got, want)
+	}
+	// Constant samples still report exactly 0, not a rounding residue.
+	c := []float64{base, base, base, base}
+	if got := StdDev(c); got != 0 {
+		t.Fatalf("StdDev(constant) = %v, want 0", got)
 	}
 }
 
@@ -129,8 +193,9 @@ func TestOrderingProperty(t *testing.T) {
 		for i := range v {
 			v[i] = rng.NormFloat64() * 100
 		}
-		d := Describe(v)
-		return d.Min <= d.Median && d.Median <= d.Max &&
+		d, err := Describe(v)
+		return err == nil &&
+			d.Min <= d.Median && d.Median <= d.Max &&
 			d.Min <= d.Mean && d.Mean <= d.Max
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {

@@ -5,6 +5,17 @@ import (
 
 	"github.com/kit-ces/hayat/internal/floorplan"
 	"github.com/kit-ces/hayat/internal/numeric"
+	"github.com/kit-ces/hayat/internal/parallel"
+)
+
+// Chunk grains for the parallel grid loops (see internal/parallel):
+// boundaries depend only on the loop length and the grain, so the output
+// is bit-identical for any worker count.
+const (
+	// gridNodeGrain chunks flat per-node fills (one multiply each).
+	gridNodeGrain = 1024
+	// gridCoreGrain chunks per-core loops (subdiv² tile touches each).
+	gridCoreGrain = 16
 )
 
 // GridModel is the sub-core-resolution variant of the compact model —
@@ -34,6 +45,7 @@ type GridModel struct {
 	capac  []float64
 	luG    *numeric.LU
 	rhsBuf []float64
+	pool   *parallel.Pool
 
 	// density[k] is the fraction of a core's power injected into its
 	// k-th tile (row-major inside the core); sums to 1.
@@ -186,6 +198,18 @@ func NewGrid(fp *floorplan.Floorplan, cfg Config, subdiv int, density []float64)
 	return m, nil
 }
 
+// SetWorkers bounds the parallelism of RHS assembly and tile reduction:
+// 0 uses GOMAXPROCS, 1 (the default) is serial. Results are bit-identical
+// for every value. Like the solves themselves (shared rhsBuf), this is
+// not safe to call concurrently with solves on the same model.
+func (m *GridModel) SetWorkers(workers int) {
+	if workers == 1 {
+		m.pool = nil // nil pool == serial inline path
+		return
+	}
+	m.pool = parallel.New(workers)
+}
+
 // SubDiv returns the per-core tiling factor.
 func (m *GridModel) SubDiv() int { return m.subdiv }
 
@@ -228,18 +252,26 @@ func (m *GridModel) SteadyStateChecked(corePower []float64, tileTemps []float64)
 }
 
 // assembleRHS fills the shared RHS buffer with ambient inflow plus the
-// density-weighted per-tile power injection.
+// density-weighted per-tile power injection. Both passes chunk across the
+// pool: the ambient fill writes disjoint node ranges, and the injection
+// writes disjoint per-core tile blocks (tileNode(c, ·) ranges never
+// overlap between cores).
 func (m *GridModel) assembleRHS(corePower []float64) []float64 {
 	s2 := m.subdiv * m.subdiv
 	rhs := m.rhsBuf
-	for i := range rhs {
-		rhs[i] = m.gAmb[i] * m.cfg.Ambient
-	}
-	for c, p := range corePower {
-		for t := 0; t < s2; t++ {
-			rhs[m.tileNode(c, t)] += p * m.density[t]
+	m.pool.For(len(rhs), gridNodeGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rhs[i] = m.gAmb[i] * m.cfg.Ambient
 		}
-	}
+	})
+	m.pool.For(len(corePower), gridCoreGrain, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			p := corePower[c]
+			for t := 0; t < s2; t++ {
+				rhs[m.tileNode(c, t)] += p * m.density[t]
+			}
+		}
+	})
 	return rhs
 }
 
@@ -253,18 +285,23 @@ func (m *GridModel) reduceTiles(sol, tileTemps []float64) (coreAvg, coreMax []fl
 	}
 	coreAvg = make([]float64, m.nCores)
 	coreMax = make([]float64, m.nCores)
-	for c := 0; c < m.nCores; c++ {
-		sum, max := 0.0, 0.0
-		for t := 0; t < s2; t++ {
-			v := sol[m.tileNode(c, t)]
-			sum += v
-			if v > max {
-				max = v
+	// Per-core reduction: each core folds only its own tiles, in the same
+	// ascending tile order as the serial loop, and writes disjoint output
+	// indices — bit-identical for any worker count.
+	m.pool.For(m.nCores, gridCoreGrain, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			sum, max := 0.0, 0.0
+			for t := 0; t < s2; t++ {
+				v := sol[m.tileNode(c, t)]
+				sum += v
+				if v > max {
+					max = v
+				}
 			}
+			coreAvg[c] = sum / float64(s2)
+			coreMax[c] = max
 		}
-		coreAvg[c] = sum / float64(s2)
-		coreMax[c] = max
-	}
+	})
 	return coreAvg, coreMax
 }
 
