@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke fmt bench
+.PHONY: build test race lint fuzz-smoke fmt bench bench-submit
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,9 @@ fuzz-smoke:
 	fuzz ./internal/persist   FuzzLoadResult; \
 	fuzz ./internal/service   FuzzJournalReplay; \
 	fuzz ./internal/service   FuzzDecodeConfig; \
+	fuzz ./internal/service   FuzzDecodeBatchRequest; \
+	fuzz ./internal/merkle    FuzzVerifyProof; \
+	fuzz ./internal/merkle    FuzzParseHash; \
 	fuzz ./internal/aging     FuzzTableLookup; \
 	fuzz ./internal/aging     FuzzStateAdvance; \
 	fuzz ./internal/floorplan FuzzReadFLP; \
@@ -53,3 +56,12 @@ bench:
 	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkSingleChipEpoch' \
 		-benchmem -benchtime $(BENCHTIME) | $(GO) run ./cmd/benchjson > BENCH_PR5.json
 	@cat BENCH_PR5.json
+
+# Batch-vs-single submit throughput → committed JSON baseline. A fixed
+# iteration count (not wall time) bounds how many jobs pile into the
+# parked queue; speedups_vs_single in the output is the batch win.
+SUBMIT_BENCHTIME ?= 30x
+bench-submit:
+	$(GO) test ./internal/service -run '^$$' -bench 'BenchmarkSubmitThroughput' \
+		-benchtime $(SUBMIT_BENCHTIME) | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	@cat BENCH_PR6.json

@@ -48,6 +48,10 @@ type Document struct {
 	// hosts are expected; the determinism suite guarantees the outputs
 	// are identical regardless.
 	Speedups map[string]float64 `json:"speedups_vs_workers1,omitempty"`
+	// ModeSpeedups maps "family/mode=X" → ns/op(mode=single) / ns/op(mode=X)
+	// for benchmark families with mode= sub-benchmarks (e.g. the batch-vs-
+	// single submit throughput comparison).
+	ModeSpeedups map[string]float64 `json:"speedups_vs_single,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -100,6 +104,7 @@ func main() {
 	}
 
 	doc.Speedups = speedups(doc.Results)
+	doc.ModeSpeedups = familySpeedups(doc.Results, "/mode=", "mode=single")
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -132,6 +137,41 @@ func speedups(results []Result) map[string]float64 {
 		return nil
 	}
 	return out
+}
+
+// familySpeedups generalises speedups: for every benchmark whose name
+// contains sep (e.g. "/mode="), the ratio of its family's base
+// sub-benchmark (e.g. "mode=single") to its own ns/op.
+func familySpeedups(results []Result, sep, base string) map[string]float64 {
+	bases := make(map[string]float64) // family → base ns/op
+	for _, r := range results {
+		if fam, ok := splitOn(r.Name, sep); ok && strings.HasSuffix(r.Name, base) {
+			bases[fam] = r.NsPerOp
+		}
+	}
+	out := make(map[string]float64)
+	for _, r := range results {
+		fam, ok := splitOn(r.Name, sep)
+		if !ok || strings.HasSuffix(r.Name, base) {
+			continue
+		}
+		if b, ok := bases[fam]; ok && r.NsPerOp > 0 {
+			out[r.Name] = round3(b / r.NsPerOp)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// splitOn returns the family name before the last occurrence of sep.
+func splitOn(name, sep string) (string, bool) {
+	i := strings.LastIndex(name, sep)
+	if i < 0 {
+		return "", false
+	}
+	return name[:i], true
 }
 
 // splitWorkers returns the family name of a "Family/workers=N" benchmark.

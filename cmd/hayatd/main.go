@@ -10,10 +10,18 @@
 //	       [-data DIR] [-drain 30s] [-journal FILE] [-checkpoints DIR]
 //	       [-checkpoint-every N] [-failpoints SPECS] [-max-client-rps R]
 //	       [-default-deadline D] [-shed-start F] [-pprof-addr ADDR]
+//	       [-batch-max N] [-batch-wait D] [-audit FILE]
 //
 // With -journal, accepted jobs are write-ahead journalled and re-enqueued
 // (under their original IDs) after a crash; with -checkpoints, recovered
 // jobs resume from their last persisted checkpoint instead of restarting.
+//
+// POST /v1/batch coalesces up to -batch-max submissions (flushing after
+// -batch-wait at the latest) into one admission pass and one journal
+// fsync. Every terminal result is recorded in a per-segment Merkle tree
+// and GET /v1/jobs/{id}/proof serves its inclusion proof; with -audit the
+// tree is persisted and rebuilt on restart, without it proofs only cover
+// results produced since startup.
 // -failpoints (or the HAYAT_FAILPOINTS environment variable) arms fault
 // injection for crash drills, e.g.
 // "service.cache-read=prob(0.1),sim.thermal-solve=fail(3)".
@@ -61,6 +69,9 @@ func main() {
 		maxRPS     = flag.Float64("max-client-rps", 0, "per-client token-bucket rate limit on work-creating submits (0: unlimited)")
 		defaultDL  = flag.Duration("default-deadline", 0, "deadline applied to jobs that submit without one (0: unbounded)")
 		shedStart  = flag.Float64("shed-start", 0.75, "queue-occupancy fraction where cost-aware shedding begins")
+		batchMax   = flag.Int("batch-max", 256, "max items per coalesced batch flush (POST /v1/batch)")
+		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "max added latency before a partial batch flushes")
+		audit      = flag.String("audit", "", "persisted Merkle audit log for result provenance (empty: memory only)")
 		// Write timeout must cover wait=true long-polls, which block for a
 		// whole simulation.
 		waitBudget = flag.Duration("wait-budget", 15*time.Minute, "HTTP write timeout (bounds wait=true long-polls)")
@@ -92,6 +103,9 @@ func main() {
 		MaxClientRPS:    *maxRPS,
 		DefaultDeadline: *defaultDL,
 		ShedStart:       *shedStart,
+		BatchMaxItems:   *batchMax,
+		BatchMaxWait:    *batchWait,
+		AuditPath:       *audit,
 		Logf:            log.Printf,
 	})
 	if err != nil {

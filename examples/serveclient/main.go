@@ -4,7 +4,11 @@
 // progress, and computes the paper's Fig. 11 headline — the lifetime
 // extension Hayat buys over the variability-agnostic baseline — purely
 // from the JSON the service returns. It then repeats one request to show
-// the content-addressed cache answering without re-simulating.
+// the content-addressed cache answering without re-simulating, submits a
+// seed sweep through POST /v1/batch (one coalesced admission pass and
+// journal write for the whole sweep), and closes by fetching each result's
+// Merkle inclusion proof and verifying it client-side — including that a
+// single flipped result byte is rejected.
 package main
 
 import (
@@ -12,12 +16,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"strings"
 	"time"
 
+	"github.com/kit-ces/hayat/internal/merkle"
 	"github.com/kit-ces/hayat/internal/service"
 )
 
@@ -101,10 +107,108 @@ func main() {
 	fmt.Printf("\nresubmitted the Hayat job: state=%s cached=%v (no re-simulation)\n",
 		again.State, again.Cached)
 
+	demoBatchProvenance(base, *rows, *cols)
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(ctx)
 	_ = svc.Shutdown(ctx)
+}
+
+// proofResponse mirrors GET /v1/jobs/{id}/proof.
+type proofResponse struct {
+	JobID   string       `json:"job_id"`
+	Key     string       `json:"key"`
+	Segment int          `json:"segment"`
+	Root    string       `json:"segment_root"`
+	Proof   merkle.Proof `json:"proof"`
+}
+
+// demoBatchProvenance runs the batch + provenance half of the demo: a
+// short seed sweep submitted in ONE POST /v1/batch, then a client-side
+// Merkle verification of every result.
+func demoBatchProvenance(base string, rows, cols int) {
+	const sweep = 4
+	cfgJSON := fmt.Sprintf(`{"Rows":%d,"Cols":%d,"Years":2,"WindowSeconds":1,"MixApps":2}`, rows, cols)
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for seed := 1; seed <= sweep; seed++ {
+		if seed > 1 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"config":%s,"seed":%d,"policy":"hayat"}`, cfgJSON, seed)
+	}
+	sb.WriteString(`]}`)
+
+	resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(sb.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var br struct {
+		Results []struct {
+			Index  int        `json:"index"`
+			Status int        `json:"status"`
+			Job    *jobStatus `json:"job"`
+			Error  string     `json:"error"`
+		} `json:"results"`
+		Accepted int `json:"accepted"`
+		Rejected int `json:"rejected"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nbatch: %d-seed sweep in one POST /v1/batch → %d accepted, %d rejected (one journal fsync)\n",
+		sweep, br.Accepted, br.Rejected)
+
+	for _, item := range br.Results {
+		if item.Job == nil {
+			log.Fatalf("batch item %d: HTTP %d %s", item.Index, item.Status, item.Error)
+		}
+		pollToCompletion(base, item.Job.ID, fmt.Sprintf("seed %d", item.Index+1))
+
+		// Fetch the CANONICAL result bytes (the status envelope re-indents
+		// embedded JSON; /result serves exactly what the audit leaf covers)
+		// and the inclusion proof, then verify client-side — the service's
+		// word is not taken for it.
+		rresp, err := http.Get(base + "/v1/jobs/" + item.Job.ID + "/result")
+		if err != nil {
+			log.Fatal(err)
+		}
+		result, err := io.ReadAll(rresp.Body)
+		rresp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pr proofResponse
+		presp, err := http.Get(base + "/v1/jobs/" + item.Job.ID + "/proof")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(presp.Body).Decode(&pr); err != nil {
+			log.Fatal(err)
+		}
+		presp.Body.Close()
+		root, err := merkle.ParseHash(pr.Root)
+		if err != nil {
+			log.Fatalf("job %s: bad segment root: %v", item.Job.ID, err)
+		}
+		if err := merkle.Verify(pr.Proof, result, root); err != nil {
+			log.Fatalf("job %s: inclusion proof REJECTED: %v", item.Job.ID, err)
+		}
+		fmt.Printf("provenance: %s verified against segment %d root %s…\n",
+			item.Job.ID, pr.Segment, pr.Root[:12])
+
+		if item.Index == 0 {
+			// Tamper demo: one flipped byte in the result must be caught.
+			tampered := append([]byte(nil), result...)
+			tampered[len(tampered)/2] ^= 1
+			if err := merkle.Verify(pr.Proof, tampered, root); err == nil {
+				log.Fatal("tampered result verified — provenance is broken")
+			}
+			fmt.Printf("provenance: flipped one result byte → proof rejected, as it must be\n")
+		}
+	}
 }
 
 func submitPopulation(base, cfgJSON, policy string, chips int) jobStatus {

@@ -5,14 +5,15 @@ import (
 )
 
 // checkFailpointCoverage enforces failure-injection coverage for durable
-// I/O: inside internal/service and internal/persist, any function that
-// calls os.WriteFile, os.Rename, (*os.File).Sync, or performs a
-// disk-cache read (os.ReadFile, os.Open) must also evaluate a
-// faultinject failpoint, so the crash-safety tests can fault that seam.
-// An uninstrumented write path is exactly the regression the journal and
-// checkpoint tests cannot see.
+// I/O: inside internal/service, internal/persist, internal/batch and
+// internal/merkle, any function that calls os.WriteFile, os.Rename,
+// (*os.File).Sync, or performs a disk-cache read (os.ReadFile, os.Open)
+// must also evaluate a faultinject failpoint, so the crash-safety tests
+// can fault that seam. An uninstrumented write path is exactly the
+// regression the journal, checkpoint and audit-log tests cannot see.
 func checkFailpointCoverage(p *Package, r *Reporter) {
-	if !p.PathContains("internal/service") && !p.PathContains("internal/persist") {
+	if !p.PathContains("internal/service") && !p.PathContains("internal/persist") &&
+		!p.PathContains("internal/batch") && !p.PathContains("internal/merkle") {
 		return
 	}
 	for _, f := range p.Files {

@@ -1,0 +1,30 @@
+// Package batch is a golden fixture for the failpoint-coverage rule: the
+// batching layer's durable flush seams must be instrumented just like the
+// journal's (the rule is scoped to import paths containing
+// internal/service, internal/persist, internal/batch or internal/merkle).
+package batch
+
+import (
+	"os"
+
+	"example.com/fixture/internal/faultinject"
+)
+
+// flushRaw persists a batch with no failpoint in the function.
+func flushRaw(f *os.File, frames []byte) error {
+	if _, err := f.Write(frames); err != nil {
+		return err
+	}
+	return f.Sync() // want `\(\*os\.File\)\.Sync without a faultinject failpoint in flushRaw`
+}
+
+// flushGuarded evaluates the batch-flush failpoint first: fine.
+func flushGuarded(f *os.File, frames []byte) error {
+	if err := faultinject.Hit("service.batch-flush"); err != nil {
+		return err
+	}
+	if _, err := f.Write(frames); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,43 @@
+// Package merkle is a golden fixture for the failpoint-coverage rule:
+// the audit log's persistence and replay seams are durable I/O and must
+// be instrumented like every other crash-safety surface.
+package merkle
+
+import (
+	"os"
+
+	"example.com/fixture/internal/faultinject"
+)
+
+// persistRaw appends an audit record with no failpoint in the function.
+func persistRaw(f *os.File, rec []byte) error {
+	_, err := f.Write(rec)
+	if err != nil {
+		return err
+	}
+	return f.Sync() // want `\(\*os\.File\)\.Sync without a faultinject failpoint in persistRaw`
+}
+
+// replayRaw reads the audit log back with no failpoint.
+func replayRaw(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `os\.ReadFile without a faultinject failpoint in replayRaw`
+}
+
+// persistGuarded evaluates the merkle.persist failpoint first: fine.
+func persistGuarded(f *os.File, rec []byte) error {
+	if err := faultinject.Hit("merkle.persist"); err != nil {
+		return err
+	}
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// replayGuarded evaluates the merkle.replay failpoint first: fine.
+func replayGuarded(path string) ([]byte, error) {
+	if err := faultinject.Hit("merkle.replay"); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,287 @@
+package merkle
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/kit-ces/hayat/internal/faultinject"
+	"github.com/kit-ces/hayat/internal/persist"
+)
+
+// Failpoints on the audit log's durable-I/O seams.
+const (
+	fpPersist = "merkle.persist"
+	fpReplay  = "merkle.replay"
+)
+
+// DefaultSegmentLeaves is how many leaves a segment holds before it is
+// sealed and a fresh tree starts. Proofs stay shallow (≤ 8 siblings) and
+// a sealed segment's root never changes again.
+const DefaultSegmentLeaves = 256
+
+// Ref locates one leaf in the segmented log.
+type Ref struct {
+	Segment   int `json:"segment"`
+	LeafIndex int `json:"leaf_index"`
+}
+
+// logRecord is one CRC-framed JSONL line of the on-disk audit log.
+// Segment and index are recorded redundantly (they are implied by file
+// order) so replay can detect dropped or reordered lines instead of
+// silently rebuilding a different tree.
+type logRecord struct {
+	Segment int    `json:"seg"`
+	Index   int    `json:"idx"`
+	Key     string `json:"key"`
+	Leaf    string `json:"leaf"` // hex leaf hash
+}
+
+// Log is the durable audit log: an append-only sequence of (key, leaf
+// hash) records partitioned into fixed-size segments, each carrying its
+// own Merkle tree. Appends are idempotent by key — the content-addressed
+// result cache guarantees one result per key, so replaying a recovered
+// job lands on the existing leaf. With an empty path the log is
+// memory-only (trees still work, nothing survives a restart).
+//
+// Durability model: records are appended as CRC-framed lines and fsynced
+// when a segment seals (and on Close). A record lost to a crash is
+// re-appended the next time its result is served from the cache, so the
+// tree self-heals; replay skips corrupt or out-of-sequence lines and
+// reports how many.
+type Log struct {
+	mu        sync.Mutex
+	segLeaves int
+	segs      []*Tree
+	refs      map[string]Ref
+	f         *os.File // nil: memory-only
+	path      string
+	sealed    int // segments already fsynced shut
+}
+
+// OpenLog replays (or creates) the audit log at path, returning the log
+// and the number of corrupt or out-of-sequence lines skipped. An empty
+// path yields a memory-only log.
+func OpenLog(path string, segLeaves int) (*Log, int, error) {
+	if segLeaves <= 0 {
+		segLeaves = DefaultSegmentLeaves
+	}
+	l := &Log{segLeaves: segLeaves, refs: make(map[string]Ref), path: path}
+	if path == "" {
+		return l, 0, nil
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, 0, fmt.Errorf("merkle: creating audit dir: %w", err)
+		}
+	}
+	if ferr := faultinject.Hit(fpReplay); ferr != nil {
+		return nil, 0, fmt.Errorf("merkle: audit replay: %w", ferr)
+	}
+	corrupt := 0
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			payload, err := persist.DecodeFrameLine(line)
+			if err != nil {
+				corrupt++
+				continue
+			}
+			var rec logRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				corrupt++
+				continue
+			}
+			if !l.replayLocked(rec) {
+				corrupt++
+			}
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return nil, 0, fmt.Errorf("merkle: reading audit log: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("merkle: opening audit log: %w", err)
+	}
+	l.f = f
+	l.sealed = len(l.segs)
+	if open := l.openSegLocked(); open != nil && open.Len() < l.segLeaves {
+		// The trailing segment is still open; everything before it is
+		// sealed.
+		l.sealed = len(l.segs) - 1
+	}
+	return l, corrupt, nil
+}
+
+// replayLocked rebuilds one record, rejecting anything that does not
+// continue the sequence exactly (a gap would silently shift every later
+// leaf, making recorded refs lie).
+func (l *Log) replayLocked(rec logRecord) bool {
+	leaf, err := ParseHash(rec.Leaf)
+	if err != nil {
+		return false
+	}
+	if _, dup := l.refs[rec.Key]; dup || rec.Key == "" {
+		return false
+	}
+	want := l.nextRefLocked()
+	if rec.Segment != want.Segment || rec.Index != want.LeafIndex {
+		return false
+	}
+	l.appendLeafLocked(rec.Key, leaf)
+	return true
+}
+
+// nextRefLocked is where the next appended leaf will land.
+func (l *Log) nextRefLocked() Ref {
+	if open := l.openSegLocked(); open != nil && open.Len() < l.segLeaves {
+		return Ref{Segment: len(l.segs) - 1, LeafIndex: open.Len()}
+	}
+	return Ref{Segment: len(l.segs), LeafIndex: 0}
+}
+
+func (l *Log) openSegLocked() *Tree {
+	if len(l.segs) == 0 {
+		return nil
+	}
+	return l.segs[len(l.segs)-1]
+}
+
+// appendLeafLocked places a leaf at the next slot and records its ref.
+func (l *Log) appendLeafLocked(key string, leaf Hash) Ref {
+	open := l.openSegLocked()
+	if open == nil || open.Len() >= l.segLeaves {
+		open = New()
+		l.segs = append(l.segs, open)
+	}
+	idx := open.Append(leaf)
+	ref := Ref{Segment: len(l.segs) - 1, LeafIndex: idx}
+	l.refs[key] = ref
+	return ref
+}
+
+// Append records a result leaf under its cache key, returning the leaf's
+// position and whether it was newly added (false: the key was already
+// audited — byte-identical results make re-appending a no-op). The
+// in-memory tree is always updated; a persistence failure is returned so
+// the caller can count it, but does not lose the leaf.
+func (l *Log) Append(key string, leaf Hash) (Ref, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ref, ok := l.refs[key]; ok {
+		return ref, false, nil
+	}
+	ref := l.appendLeafLocked(key, leaf)
+	sealing := l.segs[ref.Segment].Len() == l.segLeaves
+	if err := l.persistLocked(logRecord{
+		Segment: ref.Segment,
+		Index:   ref.LeafIndex,
+		Key:     key,
+		Leaf:    hex.EncodeToString(leaf[:]),
+	}, sealing); err != nil {
+		return ref, true, err
+	}
+	if sealing && l.f != nil {
+		l.sealed = ref.Segment + 1
+	}
+	return ref, true, nil
+}
+
+// persistLocked appends one framed record line, fsyncing when the write
+// seals a segment (a sealed root must survive a crash; open-segment
+// records are re-derived from the result cache if lost).
+func (l *Log) persistLocked(rec logRecord, seal bool) error {
+	if l.f == nil {
+		return nil
+	}
+	if ferr := faultinject.Hit(fpPersist); ferr != nil {
+		return fmt.Errorf("merkle: audit append: %w", ferr)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("merkle: audit record: %w", err)
+	}
+	framed, err := persist.EncodeFrameLine(payload)
+	if err != nil {
+		return fmt.Errorf("merkle: audit record: %w", err)
+	}
+	if _, err := l.f.Write(append(framed, '\n')); err != nil {
+		return fmt.Errorf("merkle: audit append: %w", err)
+	}
+	if seal {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("merkle: audit sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Prove returns the inclusion proof for a key's leaf together with its
+// position and the root it verifies against (the segment's current
+// root — stable forever once the segment seals).
+func (l *Log) Prove(key string) (Proof, Ref, Hash, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ref, ok := l.refs[key]
+	if !ok {
+		return Proof{}, Ref{}, Hash{}, fmt.Errorf("merkle: no audited leaf for key %s", key)
+	}
+	tree := l.segs[ref.Segment]
+	p, err := tree.Prove(ref.LeafIndex)
+	if err != nil {
+		return Proof{}, Ref{}, Hash{}, err
+	}
+	return p, ref, tree.Root(), nil
+}
+
+// Stats snapshots the log's shape for /metrics.
+type Stats struct {
+	Leaves         int `json:"leaves"`
+	Segments       int `json:"segments"`
+	SealedSegments int `json:"sealed_segments"`
+}
+
+// Stats reports leaf and segment counts.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, t := range l.segs {
+		n += t.Len()
+	}
+	return Stats{Leaves: n, Segments: len(l.segs), SealedSegments: l.sealed}
+}
+
+// Close fsyncs and closes the audit file. Safe on a memory-only log.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := faultinject.Hit(fpPersist)
+	if err == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("merkle: closing audit log: %w", err)
+	}
+	return nil
+}

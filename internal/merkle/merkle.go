@@ -1,0 +1,200 @@
+// Package merkle implements the RFC 6962 (Certificate Transparency)
+// Merkle hash tree over SHA-256, plus a durable segmented leaf log
+// (log.go). The service hashes every terminal job result into a
+// per-journal-segment tree and serves inclusion proofs; clients use
+// Verify to check that a (possibly cached) answer really is the result
+// the server recorded — a single flipped byte in either the result or
+// the proof fails verification.
+//
+// Leaf and interior hashes are domain-separated (0x00 / 0x01 prefixes)
+// so a leaf can never be reinterpreted as an interior node; unbalanced
+// trees split at the largest power of two below the leaf count, exactly
+// as RFC 6962 §2.1 defines MTH, so proofs interoperate with standard CT
+// verifiers.
+package merkle
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the byte length of every leaf, node and root hash.
+const HashSize = sha256.Size
+
+// Hash is one SHA-256 tree hash.
+type Hash = [HashSize]byte
+
+// ErrBadProof is wrapped by every verification failure: wrong root,
+// malformed path, index outside the tree.
+var ErrBadProof = errors.New("merkle: proof does not verify")
+
+// LeafHash hashes raw leaf data with the RFC 6962 leaf prefix.
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two child hashes with the interior-node prefix.
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ParseHash decodes a lowercase-hex tree hash (a proof path element or a
+// served root).
+func ParseHash(s string) (Hash, error) {
+	var out Hash
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return out, fmt.Errorf("%w: bad hash %q", ErrBadProof, s)
+	}
+	if len(raw) != HashSize {
+		return out, fmt.Errorf("%w: hash is %d bytes, want %d", ErrBadProof, len(raw), HashSize)
+	}
+	copy(out[:], raw)
+	return out, nil
+}
+
+// Tree is an append-only Merkle tree over already-hashed leaves. The
+// zero value is not usable; construct with New. Not safe for concurrent
+// use — the Log wraps it with locking.
+type Tree struct {
+	leaves []Hash
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len is the current leaf count.
+func (t *Tree) Len() int { return len(t.leaves) }
+
+// Append adds a leaf hash and returns its index.
+func (t *Tree) Append(leaf Hash) int {
+	t.leaves = append(t.leaves, leaf)
+	return len(t.leaves) - 1
+}
+
+// Root computes the tree head over the current leaves. The empty tree's
+// root is SHA-256 of the empty string, per RFC 6962.
+func (t *Tree) Root() Hash {
+	return subtreeRoot(t.leaves)
+}
+
+func subtreeRoot(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return sha256.Sum256(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(subtreeRoot(leaves[:k]), subtreeRoot(leaves[k:]))
+}
+
+// splitPoint is the largest power of two strictly below n (n ≥ 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// Proof is an inclusion proof: the sibling hashes (leaf to root, hex)
+// needed to recompute the root from one leaf. It is meaningful only
+// together with the root it was generated against — the tree may have
+// grown since.
+type Proof struct {
+	LeafIndex int `json:"leaf_index"`
+	TreeSize  int `json:"tree_size"`
+	// Path holds the lowercase-hex sibling hashes, ordered leaf to root.
+	// Empty for a single-leaf tree (the leaf hash is the root).
+	Path []string `json:"path,omitempty"`
+}
+
+// Prove returns the inclusion proof for leaf i against the current root.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= len(t.leaves) {
+		return Proof{}, fmt.Errorf("merkle: leaf index %d outside tree of %d leaves", i, len(t.leaves))
+	}
+	raw := auditPath(i, t.leaves)
+	p := Proof{LeafIndex: i, TreeSize: len(t.leaves)}
+	for _, h := range raw {
+		p.Path = append(p.Path, hex.EncodeToString(h[:]))
+	}
+	return p, nil
+}
+
+// auditPath is PATH(m, D[n]) from RFC 6962 §2.1.1, siblings ordered leaf
+// to root.
+func auditPath(m int, leaves []Hash) []Hash {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if m < k {
+		return append(auditPath(m, leaves[:k]), subtreeRoot(leaves[k:]))
+	}
+	return append(auditPath(m-k, leaves[k:]), subtreeRoot(leaves[:k]))
+}
+
+// Verify checks that data is the leaf at p.LeafIndex of the tree with the
+// given root. Any discrepancy — flipped result byte, flipped path byte,
+// wrong index or size — returns an error wrapping ErrBadProof.
+func Verify(p Proof, data []byte, root Hash) error {
+	got, err := RootFromProof(p, LeafHash(data))
+	if err != nil {
+		return err
+	}
+	if subtle.ConstantTimeCompare(got[:], root[:]) != 1 {
+		return fmt.Errorf("%w: computed root %x, want %x", ErrBadProof, got, root)
+	}
+	return nil
+}
+
+// RootFromProof recomputes the tree head implied by an inclusion proof
+// and a leaf hash, using the RFC 9162 §2.1.3.2 algorithm.
+func RootFromProof(p Proof, leaf Hash) (Hash, error) {
+	var zero Hash
+	if p.TreeSize <= 0 || p.LeafIndex < 0 || p.LeafIndex >= p.TreeSize {
+		return zero, fmt.Errorf("%w: leaf index %d outside tree of size %d", ErrBadProof, p.LeafIndex, p.TreeSize)
+	}
+	fn, sn := p.LeafIndex, p.TreeSize-1
+	r := leaf
+	for _, s := range p.Path {
+		sib, err := ParseHash(s)
+		if err != nil {
+			return zero, err
+		}
+		if sn == 0 {
+			return zero, fmt.Errorf("%w: path longer than tree depth", ErrBadProof)
+		}
+		if fn%2 == 1 || fn == sn {
+			r = nodeHash(sib, r)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			r = nodeHash(r, sib)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return zero, fmt.Errorf("%w: path shorter than tree depth", ErrBadProof)
+	}
+	return r, nil
+}

@@ -1,0 +1,166 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func leafData(i int) []byte { return []byte(fmt.Sprintf("result-%d", i)) }
+
+// Proofs must round-trip for every leaf of every tree size up to a few
+// levels past the segment-boundary cases (powers of two ±1).
+func TestProveVerifyAllSizes(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		tree := New()
+		for i := 0; i < n; i++ {
+			tree.Append(LeafHash(leafData(i)))
+		}
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			p, err := tree.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d prove(%d): %v", n, i, err)
+			}
+			if err := Verify(p, leafData(i), root); err != nil {
+				t.Fatalf("n=%d leaf %d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+// RFC 6962 pins the empty tree's head to SHA-256 of the empty string.
+func TestEmptyTreeRoot(t *testing.T) {
+	want := sha256.Sum256(nil)
+	if got := New().Root(); got != want {
+		t.Fatalf("empty root %x, want %x", got, want)
+	}
+}
+
+// A single-leaf tree's root is the leaf hash and its proof path is empty.
+func TestSingleLeaf(t *testing.T) {
+	tree := New()
+	tree.Append(LeafHash(leafData(0)))
+	if tree.Root() != LeafHash(leafData(0)) {
+		t.Fatal("single-leaf root is not the leaf hash")
+	}
+	p, err := tree.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Path) != 0 {
+		t.Fatalf("single-leaf path has %d elements", len(p.Path))
+	}
+	if err := Verify(p, leafData(0), tree.Root()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RFC 6962 §2.1.3 publishes the 7-leaf test tree; checking one known
+// vector guards against a self-consistent-but-wrong implementation.
+func TestRFC6962Vector(t *testing.T) {
+	// Leaves are the byte strings "", 0x00, 0x10, 0x2021, ... from the
+	// certificate-transparency-go reference fixtures.
+	inputs := [][]byte{
+		{}, {0x00}, {0x10}, {0x20, 0x21}, {0x30, 0x31},
+		{0x40, 0x41, 0x42, 0x43}, {0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57},
+	}
+	tree := New()
+	for _, in := range inputs {
+		tree.Append(LeafHash(in))
+	}
+	const wantRoot = "ddb89be403809e325750d3d263cd78929c2942b7942a34b77e122c9594a74c8c"
+	if got := hex.EncodeToString(func() []byte { r := tree.Root(); return r[:] }()); got != wantRoot {
+		t.Fatalf("7-leaf root %s, want %s", got, wantRoot)
+	}
+}
+
+// Every single-bit-flip class must be rejected: result bytes, a path
+// element, the leaf index, the tree size, and a truncated or padded path.
+func TestVerifyRejectsTampering(t *testing.T) {
+	tree := New()
+	for i := 0; i < 11; i++ {
+		tree.Append(LeafHash(leafData(i)))
+	}
+	root := tree.Root()
+	p, err := tree.Prove(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, leafData(6), root); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+
+	check := func(name string, p Proof, data []byte, root Hash) {
+		t.Helper()
+		if err := Verify(p, data, root); !errors.Is(err, ErrBadProof) {
+			t.Fatalf("%s: error %v, want ErrBadProof", name, err)
+		}
+	}
+
+	flipped := append([]byte(nil), leafData(6)...)
+	flipped[0] ^= 1
+	check("flipped result byte", p, flipped, root)
+
+	badPath := p
+	badPath.Path = append([]string(nil), p.Path...)
+	raw, _ := hex.DecodeString(badPath.Path[1])
+	raw[3] ^= 0x80
+	badPath.Path[1] = hex.EncodeToString(raw)
+	check("flipped path byte", badPath, leafData(6), root)
+
+	badIdx := p
+	badIdx.LeafIndex = 7
+	check("wrong leaf index", badIdx, leafData(6), root)
+
+	// Inclusion proofs bind the root, not the exact size (the size is
+	// authenticated by the serving endpoint); a size that changes the
+	// implied path depth must still be rejected.
+	badSize := p
+	badSize.TreeSize = 8
+	check("tree size shrinks path depth", badSize, leafData(6), root)
+	badSize.TreeSize = 64
+	check("tree size grows path depth", badSize, leafData(6), root)
+
+	short := p
+	short.Path = p.Path[:len(p.Path)-1]
+	check("truncated path", short, leafData(6), root)
+
+	long := p
+	long.Path = append(append([]string(nil), p.Path...), p.Path[0])
+	check("padded path", long, leafData(6), root)
+
+	badRoot := root
+	badRoot[0] ^= 1
+	check("wrong root", p, leafData(6), badRoot)
+
+	check("index outside tree", Proof{LeafIndex: 5, TreeSize: 3}, leafData(6), root)
+	check("non-hex path element", Proof{LeafIndex: 0, TreeSize: 2, Path: []string{"zz"}}, leafData(6), root)
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tree := New()
+	tree.Append(LeafHash(leafData(0)))
+	if _, err := tree.Prove(-1); err == nil {
+		t.Fatal("Prove(-1) succeeded")
+	}
+	if _, err := tree.Prove(1); err == nil {
+		t.Fatal("Prove past end succeeded")
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	h := LeafHash([]byte("x"))
+	got, err := ParseHash(hex.EncodeToString(h[:]))
+	if err != nil || got != h {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if _, err := ParseHash("abcd"); err == nil {
+		t.Fatal("short hash accepted")
+	}
+	if _, err := ParseHash("not-hex"); err == nil {
+		t.Fatal("non-hex accepted")
+	}
+}

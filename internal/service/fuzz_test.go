@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/kit-ces/hayat/internal/persist"
@@ -40,6 +41,40 @@ func FuzzJournalReplay(f *testing.F) {
 		for _, e := range pending {
 			if e.ID == "" {
 				t.Fatal("replay surfaced a pending entry without an ID")
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatchRequest feeds arbitrary JSON to the POST /v1/batch
+// decode-and-validate path: it must never panic, and every item it
+// accepts must canonicalise to a well-formed cache key (acceptance is
+// what admits the item into the coalesced journal write).
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"items":[]}`)
+	f.Add(`{"items":[{"config":{"Rows":4,"Cols":4,"Years":1},"seed":1,"policy":"hayat"}]}`)
+	f.Add(`{"items":[{"kind":"population","chips":3,"policy":"vaa","client":"ci"},{"policy":"bogus"}]}`)
+	f.Add(`{"items":[{"config":null,"seed":-9223372036854775808,"deadline_ms":1,"queue_ttl_ms":-5}]}`)
+	f.Add(`{"items":[{"kind":"lifetime","chips":2}]}`)
+	f.Add(`{"items":[{"config":{"Rows":1e309}}],"extra":true}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req BatchRequest
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		for i, it := range req.Items {
+			sub, err := batchSubmissionFromItem(it)
+			if err != nil {
+				continue
+			}
+			if !validKey(sub.key) {
+				t.Fatalf("item %d accepted with malformed cache key %q", i, sub.key)
+			}
+			if sub.req.Chips < 1 {
+				t.Fatalf("item %d accepted with %d chips", i, sub.req.Chips)
 			}
 		}
 	})

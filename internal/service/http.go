@@ -57,17 +57,23 @@ type errorBody struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/lifetime    submit a single-chip lifetime job
-//	POST   /v1/population  submit a population fan-out job
-//	GET    /v1/jobs/{id}   poll status / fetch result
-//	DELETE /v1/jobs/{id}   cancel a job
-//	GET    /healthz        liveness
-//	GET    /metrics        counters and latency histograms
+//	POST   /v1/lifetime        submit a single-chip lifetime job
+//	POST   /v1/population      submit a population fan-out job
+//	POST   /v1/batch           submit many jobs in one coalesced pass
+//	GET    /v1/jobs/{id}        poll status / fetch result
+//	GET    /v1/jobs/{id}/result canonical result bytes (what the proof covers)
+//	GET    /v1/jobs/{id}/proof  Merkle inclusion proof for the result
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /healthz            liveness
+//	GET    /metrics            counters and latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lifetime", s.handleLifetime)
 	mux.HandleFunc("POST /v1/population", s.handlePopulation)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleJobProof)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -177,6 +183,69 @@ func (s *Server) respondSubmit(w http.ResponseWriter, r *http.Request, st JobSta
 	writeJSON(w, code, st)
 }
 
+// maxBatchBody bounds a batch request body: up to maxBatchItems items,
+// each with a config overlay, fit comfortably in 8 MiB.
+const maxBatchBody = 8 << 20
+
+// handleBatch answers POST /v1/batch. The contract is 200-with-mixed-
+// results: once the request body decodes (else 400/413), the response is
+// HTTP 200 and acceptance is reported per item — an over-budget item
+// carries its own 429 status and retry_after_s inside the body without
+// failing its neighbours. See BatchItemResult.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d items exceeds the %d-item limit", len(req.Items), maxBatchItems))
+		return
+	}
+	results, err := s.SubmitBatch(r.Context(), req.Items)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := BatchResponse{Results: results}
+	for _, res := range results {
+		if res.Accepted {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobResult serves a done job's result bytes verbatim — the exact
+// bytes its Merkle inclusion proof covers. (writeJSON re-indents nested
+// JSON, which would break client-side proof verification.)
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// handleJobProof answers GET /v1/jobs/{id}/proof with the job result's
+// Merkle inclusion proof (404 for unknown jobs or jobs without an
+// audited result).
+func (s *Server) handleJobProof(w http.ResponseWriter, r *http.Request) {
+	pr, err := s.Proof(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pr)
+}
+
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Status(r.PathValue("id"), true)
 	if err != nil {
@@ -217,6 +286,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Artifacts.AgingTables = as.AgingTables
 	snap.Admission.Pressure = s.Pressure()
 	snap.Admission.ClientDepths = s.ClientDepths()
+	ast := s.AuditStats()
+	snap.Merkle.Segments = ast.Segments
+	snap.Merkle.SealedSegments = ast.SealedSegments
 	snap.Breakers = s.Breakers()
 	snap.Failpoints = s.Failpoints()
 	writeJSON(w, http.StatusOK, snap)

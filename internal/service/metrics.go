@@ -88,6 +88,68 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// sizeBounds are the batch-size bucket upper bounds (powers of two up to
+// the per-request item cap).
+var sizeBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// SizeHistogram accumulates integer observations (batch sizes) into
+// power-of-two buckets.
+type SizeHistogram struct {
+	mu     sync.Mutex
+	counts []int64
+	sum    int64
+	n      int64
+}
+
+// Observe records one size.
+func (h *SizeHistogram) Observe(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(sizeBounds)+1)
+	}
+	h.n++
+	h.sum += int64(v)
+	for i, b := range sizeBounds {
+		if int64(v) <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(sizeBounds)]++
+}
+
+// SizeBucket is one size bucket: observations ≤ LE (-1 encodes +Inf).
+type SizeBucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// SizeHistogramSnapshot is a consistent copy of a size histogram.
+type SizeHistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []SizeBucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram state. Empty buckets are elided.
+func (h *SizeHistogram) Snapshot() SizeHistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := SizeHistogramSnapshot{Count: h.n, Sum: h.sum}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(-1) // +Inf bucket
+		if i < len(sizeBounds) {
+			le = sizeBounds[i]
+		}
+		s.Buckets = append(s.Buckets, SizeBucket{LE: le, Count: c})
+	}
+	return s
+}
+
 // Metrics aggregates the service's counters and per-stage latency
 // histograms, in the spirit of stdlib expvar: cheap to update, exported
 // as one JSON document on GET /metrics.
@@ -128,12 +190,26 @@ type Metrics struct {
 	JobsDegraded Counter // answered with the fast analytic estimate
 	RateLimited  Counter // rejected by a client token bucket (429)
 
+	// Batched-submission outcomes.
+	BatchFlushes Counter       // batches flushed (one admission pass + one fsync each)
+	BatchItems   Counter       // items carried by those flushes
+	FsyncsSaved  Counter       // journal fsyncs avoided vs per-item submits
+	BatchSizes   SizeHistogram // items per flush
+
+	// Result-provenance (merkle audit log) outcomes.
+	MerkleLeaves       Counter // terminal results recorded in the audit tree
+	MerkleAppendErrors Counter // audit appends that failed (leaf kept in memory)
+	MerkleProofs       Counter // inclusion proofs served
+	MerkleProofErrors  Counter // proof requests that failed (no leaf / non-terminal job)
+	MerkleCorrupt      Counter // corrupt audit-log lines skipped at replay
+
 	// Per-stage latency histograms.
-	QueueWait Histogram // submit → worker pickup
-	Setup     Histogram // system + chip construction
-	Simulate  Histogram // engine run
-	Encode    Histogram // result serialisation
-	Admission Histogram // submit entry → admission decision
+	BatchFlush Histogram // batch flush entry → journal fsync done
+	QueueWait  Histogram // submit → worker pickup
+	Setup      Histogram // system + chip construction
+	Simulate   Histogram // engine run
+	Encode     Histogram // result serialisation
+	Admission  Histogram // submit entry → admission decision
 
 	// Per-epoch simulation stage timings (sim.StageObserver): cumulative
 	// wall-clock nanoseconds and observation counts for the mapping,
@@ -203,6 +279,24 @@ type MetricsSnapshot struct {
 		Pressure     bool           `json:"pressure"`
 		ClientDepths map[string]int `json:"client_depths,omitempty"`
 	} `json:"admission"`
+	Batch struct {
+		Flushes      int64                 `json:"flushes"`
+		Items        int64                 `json:"items"`
+		FsyncsSaved  int64                 `json:"fsyncs_saved"`
+		Sizes        SizeHistogramSnapshot `json:"sizes"`
+		FlushSeconds HistogramSnapshot     `json:"flush_seconds"`
+	} `json:"batch"`
+	Merkle struct {
+		Leaves       int64 `json:"leaves"`
+		AppendErrors int64 `json:"append_errors"`
+		Proofs       int64 `json:"proofs"`
+		ProofErrors  int64 `json:"proof_errors"`
+		Corrupt      int64 `json:"corrupt"`
+		// Segments and SealedSegments are filled in by the server from the
+		// live audit log.
+		Segments       int `json:"segments"`
+		SealedSegments int `json:"sealed_segments"`
+	} `json:"merkle"`
 	// Breakers and Failpoints are filled in by the server (they live
 	// outside Metrics); empty maps are elided.
 	Breakers   map[string]BreakerSnapshot `json:"breakers,omitempty"`
@@ -244,6 +338,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.Reliability.JournalAppendErrors = m.JournalAppendErrors.Value()
 	s.Reliability.JournalCorrupt = m.JournalCorrupt.Value()
 	s.Reliability.ChipResultsReused = m.ChipResultsReused.Value()
+	s.Batch.Flushes = m.BatchFlushes.Value()
+	s.Batch.Items = m.BatchItems.Value()
+	s.Batch.FsyncsSaved = m.FsyncsSaved.Value()
+	s.Batch.Sizes = m.BatchSizes.Snapshot()
+	s.Batch.FlushSeconds = m.BatchFlush.Snapshot()
+	s.Merkle.Leaves = m.MerkleLeaves.Value()
+	s.Merkle.AppendErrors = m.MerkleAppendErrors.Value()
+	s.Merkle.Proofs = m.MerkleProofs.Value()
+	s.Merkle.ProofErrors = m.MerkleProofErrors.Value()
+	s.Merkle.Corrupt = m.MerkleCorrupt.Value()
 	s.Admission.Shed = m.JobsShed.Value()
 	s.Admission.Evicted = m.JobsEvicted.Value()
 	s.Admission.Degraded = m.JobsDegraded.Value()

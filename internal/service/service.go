@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"github.com/kit-ces/hayat"
+	"github.com/kit-ces/hayat/internal/batch"
 	"github.com/kit-ces/hayat/internal/faultinject"
+	"github.com/kit-ces/hayat/internal/merkle"
 	"github.com/kit-ces/hayat/internal/persist"
 )
 
@@ -238,6 +240,21 @@ type Options struct {
 	// computed — results and cache keys are bit-identical for every
 	// value — and clients cannot influence it.
 	SimWorkers int
+	// BatchMaxItems is the batched-submit flush size: POST /v1/batch items
+	// coalesce until a flush holds this many (default 256), each flush
+	// costing one admission pass and one journal fsync.
+	BatchMaxItems int
+	// BatchMaxWait bounds how long a partial batch waits for company
+	// before flushing anyway (default 2ms).
+	BatchMaxWait time.Duration
+	// AuditPath, when set, persists the Merkle audit log (one CRC-framed
+	// line per terminal result) so inclusion proofs survive restarts.
+	// Unset, the audit tree is memory-only: proofs still work but start
+	// afresh each boot (cache hits re-seed them).
+	AuditPath string
+	// AuditSegmentLeaves is the audit tree's segment size (default 256
+	// leaves); a sealed segment's root never changes again.
+	AuditSegmentLeaves int
 	// Artifacts optionally shares platform artifacts (Cholesky factors,
 	// thermal LU, predictors, aging tables) with other components; by
 	// default the server creates its own cache.
@@ -255,7 +272,9 @@ type Server struct {
 	start time.Time
 	logf  func(string, ...any)
 
-	jnl      *journal // nil when journalling is disabled
+	jnl      *journal    // nil when journalling is disabled
+	audit    *merkle.Log // always set; memory-only without AuditPath
+	bat      *batch.Batcher[batchSubmission, BatchItemResult]
 	cacheBrk *breaker
 	ckptBrk  *breaker
 	jitter   *lockedRand
@@ -327,6 +346,10 @@ func New(opts Options) (*Server, error) {
 			return nil, jerr
 		}
 	}
+	audit, auditCorrupt, err := merkle.OpenLog(opts.AuditPath, opts.AuditSegmentLeaves)
+	if err != nil {
+		return nil, err
+	}
 
 	//lint:ignore ctxfirst server root context: it outlives any request and is cancelled by Shutdown/stopAll
 	ctx, cancel := context.WithCancel(context.Background())
@@ -337,6 +360,7 @@ func New(opts Options) (*Server, error) {
 		start:    time.Now(),
 		logf:     logf,
 		jnl:      jnl,
+		audit:    audit,
 		cacheBrk: newBreaker("disk-cache", opts.BreakerThreshold, opts.BreakerCooldown),
 		ckptBrk:  newBreaker("checkpoint", opts.BreakerThreshold, opts.BreakerCooldown),
 		jitter:   newLockedRand(opts.JitterSeed),
@@ -353,6 +377,12 @@ func New(opts Options) (*Server, error) {
 	if corrupt > 0 {
 		s.logf("service: journal replay skipped %d corrupt line(s)", corrupt)
 	}
+	s.met.MerkleLeaves.Add(int64(audit.Stats().Leaves))
+	s.met.MerkleCorrupt.Add(int64(auditCorrupt))
+	if auditCorrupt > 0 {
+		s.logf("service: audit replay skipped %d corrupt line(s)", auditCorrupt)
+	}
+	s.bat = batch.New(batch.Options{MaxItems: opts.BatchMaxItems, MaxWait: opts.BatchMaxWait}, s.flushBatch)
 	s.recover(pending)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
@@ -416,6 +446,7 @@ func (s *Server) recover(pending []journalEntry) {
 			s.rememberFinishedLocked(j)
 			s.recordTerminal(opDone, e.ID)
 			s.met.CacheHits.Add(1)
+			s.auditResult(e.Key, data)
 			continue
 		}
 		s.adm.enqueue(j, true) // force: recovered jobs bypass capacity and shedding
@@ -536,6 +567,9 @@ func (s *Server) submit(req request, o SubmitOpts) (JobStatus, error) {
 		s.rememberFinishedLocked(j)
 		st := s.statusLocked(j, true)
 		s.mu.Unlock()
+		// Self-healing: if this result's audit leaf was lost to a crash,
+		// serving it from the cache re-records it (idempotent otherwise).
+		s.auditResult(key, data)
 		return st, nil
 	}
 	if s.draining {
@@ -698,6 +732,23 @@ func (s *Server) statusLocked(j *Job, includeResult bool) JobStatus {
 	return st
 }
 
+// Result returns a done job's canonical result bytes — the exact bytes
+// its Merkle audit leaf covers. The JSON status envelope re-indents
+// embedded results, so provenance verification must read this surface
+// (GET /v1/jobs/{id}/result) rather than the status payload.
+func (s *Server) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.state != JobDone {
+		return nil, fmt.Errorf("service: job %s is %s, not done", id, j.state)
+	}
+	return j.result, nil
+}
+
 // Wait blocks until the job reaches a terminal state (returning its full
 // status, result included) or ctx is cancelled.
 func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
@@ -761,6 +812,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.adm.close()
 	}
 	s.mu.Unlock()
+	// Flush and stop the batcher first: its pending items are answered
+	// (as draining rejections) and no flush can race the journal close.
+	s.bat.Close()
 
 	done := make(chan struct{})
 	//lint:ignore goroutine-hygiene joined via the done channel: both select arms below wait for it before returning
@@ -768,18 +822,94 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	finish := func() {
+		s.jnl.Close()
+		if err := s.audit.Close(); err != nil {
+			s.logf("service: %v", err)
+		}
+	}
 	select {
 	case <-done:
-		s.jnl.Close()
+		finish()
 		return nil
 	case <-ctx.Done():
 		s.logf("service: drain deadline reached, cancelling in-flight jobs")
 		s.stopAll()
 		<-done
-		s.jnl.Close()
+		finish()
 		return ctx.Err()
 	}
 }
+
+// auditResult hashes a terminal result into the Merkle provenance tree,
+// keyed by the content-addressed request key. Idempotent — the cache
+// guarantees one result per key, so replays and cache hits land on the
+// existing leaf. A persistence failure keeps the in-memory leaf (proofs
+// still serve) and is only counted.
+func (s *Server) auditResult(key string, result []byte) {
+	_, added, err := s.audit.Append(key, merkle.LeafHash(result))
+	if err != nil {
+		s.met.MerkleAppendErrors.Add(1)
+		s.logf("service: %v", err)
+	}
+	if added {
+		s.met.MerkleLeaves.Add(1)
+	}
+}
+
+// ProofResponse is the body of GET /v1/jobs/{id}/proof: everything a
+// client needs to check — offline — that the result bytes it holds are
+// the ones the server recorded, via merkle.Verify(Proof, resultBytes,
+// root). Root is the hex head of the job's audit segment.
+type ProofResponse struct {
+	JobID   string       `json:"job_id"`
+	Key     string       `json:"key"`
+	Segment int          `json:"segment"`
+	Root    string       `json:"segment_root"`
+	Proof   merkle.Proof `json:"proof"`
+}
+
+// Proof returns the inclusion proof for a finished job's result.
+func (s *Server) Proof(id string) (ProofResponse, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var (
+		key      string
+		state    JobState
+		degraded bool
+	)
+	if ok {
+		key, state, degraded = j.key, j.state, j.degraded
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		s.met.MerkleProofErrors.Add(1)
+		return ProofResponse{}, ErrUnknownJob
+	case degraded:
+		s.met.MerkleProofErrors.Add(1)
+		return ProofResponse{}, fmt.Errorf("service: job %s was answered degraded; degraded estimates are not audited", id)
+	case state != JobDone:
+		s.met.MerkleProofErrors.Add(1)
+		return ProofResponse{}, fmt.Errorf("service: job %s is %s; proofs exist only for done jobs", id, state)
+	}
+	p, ref, root, err := s.audit.Prove(key)
+	if err != nil {
+		s.met.MerkleProofErrors.Add(1)
+		return ProofResponse{}, err
+	}
+	s.met.MerkleProofs.Add(1)
+	return ProofResponse{
+		JobID:   id,
+		Key:     key,
+		Segment: ref.Segment,
+		Root:    hex.EncodeToString(root[:]),
+		Proof:   p,
+	}, nil
+}
+
+// AuditStats snapshots the provenance log's shape (for /metrics).
+func (s *Server) AuditStats() merkle.Stats { return s.audit.Stats() }
 
 // Uptime reports how long the server has been running.
 func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
@@ -843,6 +973,10 @@ func (s *Server) runJob(j *Job) {
 		if perr := s.store.put(j.key, data); perr != nil {
 			s.logf("service: %v", perr)
 		}
+		// Every terminal result is hashed into the provenance tree before
+		// the job flips to done, so a proof is retrievable the moment the
+		// result is.
+		s.auditResult(j.key, data)
 	}
 
 	s.mu.Lock()
@@ -885,6 +1019,11 @@ func (s *Server) runJob(j *Job) {
 // failures (injected faults on the spawn and thermal-solve seams) are
 // retried with exponential backoff before the job is failed.
 func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		// Already cancelled (typically a shutdown draining a deep queue):
+		// don't spend seconds building a chip only to throw it away.
+		return nil, err
+	}
 	pol, err := hayat.ParsePolicy(j.req.Policy)
 	if err != nil {
 		return nil, err
