@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke fmt bench bench-submit
+.PHONY: build test race lint fuzz-smoke fmt bench bench-submit drill-cluster
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,9 @@ fuzz-smoke:
 	fuzz ./internal/service   FuzzJournalReplay; \
 	fuzz ./internal/service   FuzzDecodeConfig; \
 	fuzz ./internal/service   FuzzDecodeBatchRequest; \
+	fuzz ./internal/cluster   FuzzDecodeJobEnvelope; \
+	fuzz ./internal/cluster   FuzzDecodeProbe; \
+	fuzz ./internal/cluster   FuzzDecodeBatchEnvelope; \
 	fuzz ./internal/merkle    FuzzVerifyProof; \
 	fuzz ./internal/merkle    FuzzParseHash; \
 	fuzz ./internal/aging     FuzzTableLookup; \
@@ -48,6 +51,12 @@ fuzz-smoke:
 
 fmt:
 	gofmt -w .
+
+# The kill-a-peer drill: 3 real hayatd nodes, one SIGKILLed while it
+# holds unfinished population chips, result still byte-identical with a
+# verifying Merkle proof and zero client-visible 5xx.
+drill-cluster:
+	$(GO) test -race -run '^TestClusterKillPeerDrill$$' -v ./internal/service
 
 # Epoch hot-path benchmarks → committed JSON baseline. BENCHTIME=1x gives
 # a fast smoke run (CI); raise it (e.g. 2s) for a stable local baseline.

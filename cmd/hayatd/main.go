@@ -11,6 +11,17 @@
 //	       [-checkpoint-every N] [-failpoints SPECS] [-max-client-rps R]
 //	       [-default-deadline D] [-shed-start F] [-pprof-addr ADDR]
 //	       [-batch-max N] [-batch-wait D] [-audit FILE]
+//	       [-self URL -peers URL,URL,...] [-probe-interval D] [-steal-after D]
+//
+// With -peers (comma-separated base URLs of the OTHER nodes) and -self
+// (this node's own base URL as peers reach it), the daemon joins a hayatd
+// cluster: jobs shard across nodes by their content-addressed cache key,
+// population chips fan out through peers' batch APIs, and every node
+// probes every peer's /readyz each -probe-interval, evicting dead or
+// draining peers from the hash ring (their keys re-route to the next
+// owner) and restoring them when they recover. A chip whose remote result
+// has not arrived after -steal-after is stolen back and simulated
+// locally. With all peers down the node serves the full single-node API.
 //
 // With -journal, accepted jobs are write-ahead journalled and re-enqueued
 // (under their original IDs) after a crash; with -checkpoints, recovered
@@ -46,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +84,10 @@ func main() {
 		batchMax   = flag.Int("batch-max", 256, "max items per coalesced batch flush (POST /v1/batch)")
 		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "max added latency before a partial batch flushes")
 		audit      = flag.String("audit", "", "persisted Merkle audit log for result provenance (empty: memory only)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs for cluster mode (empty: single node)")
+		self       = flag.String("self", "", "this node's own base URL as peers reach it (required with -peers)")
+		probeEvery = flag.Duration("probe-interval", time.Second, "peer /readyz health-probe cadence in cluster mode")
+		stealAfter = flag.Duration("steal-after", time.Minute, "steal a population chip back to local simulation when its remote result is this late")
 		// Write timeout must cover wait=true long-polls, which block for a
 		// whole simulation.
 		waitBudget = flag.Duration("wait-budget", 15*time.Minute, "HTTP write timeout (bounds wait=true long-polls)")
@@ -106,6 +122,7 @@ func main() {
 		BatchMaxItems:   *batchMax,
 		BatchMaxWait:    *batchWait,
 		AuditPath:       *audit,
+		Cluster:         clusterOptions(*peers, *self, *probeEvery, *stealAfter),
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -167,4 +184,18 @@ func main() {
 	m := srv.Metrics().Snapshot()
 	log.Printf("done: %d done, %d failed, %d cancelled, cache %d hits / %d misses",
 		m.Jobs.Done, m.Jobs.Failed, m.Jobs.Cancelled, m.Cache.Hits, m.Cache.Misses)
+}
+
+// clusterOptions parses -peers/-self into ClusterOptions (zero value when
+// -peers is unset: single-node mode).
+func clusterOptions(peers, self string, probeEvery, stealAfter time.Duration) service.ClusterOptions {
+	if peers == "" {
+		return service.ClusterOptions{}
+	}
+	return service.ClusterOptions{
+		Self:          self,
+		Peers:         strings.Split(peers, ","),
+		ProbeInterval: probeEvery,
+		StealAfter:    stealAfter,
+	}
 }

@@ -20,12 +20,44 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"github.com/kit-ces/hayat/internal/merkle"
 	"github.com/kit-ces/hayat/internal/service"
 )
+
+// httpc is the one HTTP client every request goes through. Unlike the
+// bare http.Get/Post package helpers it has an explicit end-to-end
+// timeout, so a wedged server can never hang the demo, and every request
+// carries a context so Ctrl-C propagates as cancellation mid-poll.
+var httpc = &http.Client{Timeout: 30 * time.Second}
+
+// getJSON GETs url and decodes the JSON body into dst.
+func getJSON(ctx context.Context, url string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// postJSON POSTs body to url and returns the response.
+func postJSON(ctx context.Context, url, body string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return httpc.Do(req)
+}
 
 // populationRecord is the slice of the service's population JSON this
 // client needs: the average-frequency-over-lifetime series.
@@ -56,6 +88,11 @@ func main() {
 	required := flag.Float64("required", 5, "required lifetime in years (Fig. 11 x-axis)")
 	flag.Parse()
 
+	// Ctrl-C cancels the root context and with it every in-flight
+	// request and poll loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Start hayatd in-process on a random loopback port.
 	svc, err := service.New(service.Options{Logf: log.Printf})
 	if err != nil {
@@ -75,9 +112,9 @@ func main() {
 
 	records := map[string]populationRecord{}
 	for _, policy := range []string{"vaa", "hayat"} {
-		st := submitPopulation(base, cfgJSON, policy, *chips)
+		st := submitPopulation(ctx, base, cfgJSON, policy, *chips)
 		fmt.Printf("[%s] submitted %s (%d chips)\n", policy, st.ID, *chips)
-		st = pollToCompletion(base, st.ID, policy)
+		st = pollToCompletion(ctx, base, st.ID, policy)
 		var rec populationRecord
 		if err := json.Unmarshal(st.Result, &rec); err != nil {
 			log.Fatalf("[%s] decoding result: %v", policy, err)
@@ -103,16 +140,16 @@ func main() {
 	fmt.Printf("  Hayat lifetime extension: %s%+.2f years\n", atLeast, ext)
 
 	// A repeated identical request is answered from the cache.
-	again := submitPopulation(base, cfgJSON, "hayat", *chips)
+	again := submitPopulation(ctx, base, cfgJSON, "hayat", *chips)
 	fmt.Printf("\nresubmitted the Hayat job: state=%s cached=%v (no re-simulation)\n",
 		again.State, again.Cached)
 
-	demoBatchProvenance(base, *rows, *cols)
+	demoBatchProvenance(ctx, base, *rows, *cols)
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	downCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	_ = hs.Shutdown(ctx)
-	_ = svc.Shutdown(ctx)
+	_ = hs.Shutdown(downCtx)
+	_ = svc.Shutdown(downCtx)
 }
 
 // proofResponse mirrors GET /v1/jobs/{id}/proof.
@@ -127,7 +164,7 @@ type proofResponse struct {
 // demoBatchProvenance runs the batch + provenance half of the demo: a
 // short seed sweep submitted in ONE POST /v1/batch, then a client-side
 // Merkle verification of every result.
-func demoBatchProvenance(base string, rows, cols int) {
+func demoBatchProvenance(ctx context.Context, base string, rows, cols int) {
 	const sweep = 4
 	cfgJSON := fmt.Sprintf(`{"Rows":%d,"Cols":%d,"Years":2,"WindowSeconds":1,"MixApps":2}`, rows, cols)
 	var sb strings.Builder
@@ -140,7 +177,7 @@ func demoBatchProvenance(base string, rows, cols int) {
 	}
 	sb.WriteString(`]}`)
 
-	resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(sb.String()))
+	resp, err := postJSON(ctx, base+"/v1/batch", sb.String())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -165,13 +202,17 @@ func demoBatchProvenance(base string, rows, cols int) {
 		if item.Job == nil {
 			log.Fatalf("batch item %d: HTTP %d %s", item.Index, item.Status, item.Error)
 		}
-		pollToCompletion(base, item.Job.ID, fmt.Sprintf("seed %d", item.Index+1))
+		pollToCompletion(ctx, base, item.Job.ID, fmt.Sprintf("seed %d", item.Index+1))
 
 		// Fetch the CANONICAL result bytes (the status envelope re-indents
 		// embedded JSON; /result serves exactly what the audit leaf covers)
 		// and the inclusion proof, then verify client-side — the service's
 		// word is not taken for it.
-		rresp, err := http.Get(base + "/v1/jobs/" + item.Job.ID + "/result")
+		rreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+item.Job.ID+"/result", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rresp, err := httpc.Do(rreq)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -181,14 +222,9 @@ func demoBatchProvenance(base string, rows, cols int) {
 			log.Fatal(err)
 		}
 		var pr proofResponse
-		presp, err := http.Get(base + "/v1/jobs/" + item.Job.ID + "/proof")
-		if err != nil {
+		if err := getJSON(ctx, base+"/v1/jobs/"+item.Job.ID+"/proof", &pr); err != nil {
 			log.Fatal(err)
 		}
-		if err := json.NewDecoder(presp.Body).Decode(&pr); err != nil {
-			log.Fatal(err)
-		}
-		presp.Body.Close()
 		root, err := merkle.ParseHash(pr.Root)
 		if err != nil {
 			log.Fatalf("job %s: bad segment root: %v", item.Job.ID, err)
@@ -211,9 +247,9 @@ func demoBatchProvenance(base string, rows, cols int) {
 	}
 }
 
-func submitPopulation(base, cfgJSON, policy string, chips int) jobStatus {
+func submitPopulation(ctx context.Context, base, cfgJSON, policy string, chips int) jobStatus {
 	body := fmt.Sprintf(`{"config":%s,"base_seed":1,"chips":%d,"policy":%q}`, cfgJSON, chips, policy)
-	resp, err := http.Post(base+"/v1/population", "application/json", strings.NewReader(body))
+	resp, err := postJSON(ctx, base+"/v1/population", body)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -228,18 +264,13 @@ func submitPopulation(base, cfgJSON, policy string, chips int) jobStatus {
 	return st
 }
 
-func pollToCompletion(base, id, policy string) jobStatus {
+func pollToCompletion(ctx context.Context, base, id, policy string) jobStatus {
 	lastDone := -1
 	for {
-		resp, err := http.Get(base + "/v1/jobs/" + id)
-		if err != nil {
-			log.Fatal(err)
-		}
 		var st jobStatus
-		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		if err := getJSON(ctx, base+"/v1/jobs/"+id, &st); err != nil {
 			log.Fatal(err)
 		}
-		resp.Body.Close()
 		if st.Progress != nil && st.Progress.Done != lastDone {
 			lastDone = st.Progress.Done
 			fmt.Printf("[%s] %s: %d/%d chips done\n", policy, st.State, st.Progress.Done, st.Progress.Total)

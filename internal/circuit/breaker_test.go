@@ -1,0 +1,90 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := New("test", 3, 50*time.Millisecond)
+	boom := errors.New("boom")
+	failing := func() error { return boom }
+
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Do(failing); !errors.Is(err, boom) {
+			t.Fatalf("closed breaker returned %v", err)
+		}
+	}
+	if st := b.Stats(); st.State != Closed {
+		t.Fatalf("state %s after 2 failures", st.State)
+	}
+	// Third consecutive failure trips it.
+	b.Do(failing)
+	if st := b.Stats(); st.State != Open || st.Trips != 1 {
+		t.Fatalf("after trip: %+v", st)
+	}
+	// Open: calls short-circuit without running fn.
+	ran := false
+	if err := b.Do(func() error { ran = true; return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker returned %v", err)
+	}
+	if ran {
+		t.Fatal("open breaker executed the call")
+	}
+
+	// After the cooldown a probe is admitted; success closes the breaker.
+	time.Sleep(60 * time.Millisecond)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if st := b.Stats(); st.State != Closed {
+		t.Fatalf("state %s after successful probe", st.State)
+	}
+
+	// Trip again; a failed probe reopens for another cooldown.
+	for i := 0; i < 3; i++ {
+		b.Do(failing)
+	}
+	time.Sleep(60 * time.Millisecond)
+	b.Do(failing) // failed probe
+	if st := b.Stats(); st.Trips != 3 {
+		t.Fatalf("trips %d, want 3 (initial + re-trip + failed probe)", st.Trips)
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("reopened breaker admitted a call: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := New("test", 3, time.Second)
+	boom := errors.New("boom")
+	// failure, failure, success, repeated: never trips.
+	for i := 0; i < 10; i++ {
+		b.Do(func() error { return boom })
+		b.Do(func() error { return boom })
+		b.Do(func() error { return nil })
+	}
+	if st := b.Stats(); st.State != Closed || st.Trips != 0 {
+		t.Fatalf("interleaved successes still tripped: %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := New("test", 1, 10*time.Millisecond)
+	b.Report(false) // trip
+	time.Sleep(15 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	// A second caller while the probe is in flight is rejected.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted two concurrent probes")
+	}
+	b.Report(true)
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a call after successful probe")
+	}
+	b.Report(true)
+}

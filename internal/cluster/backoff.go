@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff bounds how transient peer failures are retried, mirroring the
+// semantics of internal/service's RetryPolicy exactly (exponential from
+// BaseDelay × Multiplier per attempt, capped at MaxDelay, plus up to half
+// a step of deterministic jitter) so operators reason about one schedule
+// for disks and peers alike. Zero values select the same defaults.
+type Backoff struct {
+	MaxAttempts int           // total tries including the first (default 4)
+	BaseDelay   time.Duration // first backoff (default 50ms)
+	MaxDelay    time.Duration // backoff ceiling (default 2s)
+	Multiplier  float64       // backoff growth factor (default 2)
+}
+
+func (p Backoff) withDefaults() Backoff {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// delay computes the backoff before attempt n (n ≥ 1 is the first retry).
+func (p Backoff) delay(n int, jitter *lockedRand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if jitter != nil {
+		d += jitter.Float64() * d / 2
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// lockedRand is a mutex-guarded rand.Rand: the jitter source is shared by
+// every forwarding goroutine, and rand.Rand is not safe for concurrent
+// use.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *lockedRand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Peer responses are untrusted input: a peer may be mid-crash, a
+// different build, or hidden behind a proxy that mangles bodies. The
+// decoders must never panic and must only accept envelopes the rest of
+// the forwarding machinery can act on.
+
+func FuzzDecodeJobEnvelope(f *testing.F) {
+	f.Add([]byte(`{"job_id":"j1","state":"queued"}`))
+	f.Add([]byte(`{"job_id":"j2","state":"done","cached":true}`))
+	f.Add([]byte(`{"job_id":"","state":"done"}`))
+	f.Add([]byte(`{"job_id":"j","state":"exploded"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeJobEnvelope(data)
+		if err != nil {
+			return
+		}
+		// Accepted envelopes are actionable: routable ID, known state.
+		if env.ID == "" || len(env.ID) > 128 {
+			t.Fatalf("accepted bad job_id %q", env.ID)
+		}
+		if !validStates[env.State] {
+			t.Fatalf("accepted unknown state %q", env.State)
+		}
+		// Terminal must agree with the state set.
+		if env.Terminal() != (env.State == "done" || env.State == "failed" || env.State == "cancelled") {
+			t.Fatalf("Terminal() inconsistent for %q", env.State)
+		}
+	})
+}
+
+func FuzzDecodeProbe(f *testing.F) {
+	f.Add([]byte(`{"ready":true}`))
+	f.Add([]byte(`{"ready":false,"draining":true,"reasons":["draining"]}`))
+	f.Add([]byte(`{"ready":true,"reasons":["?"]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`42`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeProbe(data)
+		if err != nil {
+			return
+		}
+		if env.Ready && len(env.Reasons) > 0 {
+			t.Fatal("accepted ready=true with refusal reasons")
+		}
+	})
+}
+
+func FuzzDecodeBatchEnvelope(f *testing.F) {
+	good, _ := json.Marshal(BatchEnvelope{Results: []BatchItemEnvelope{
+		{Index: 0, Accepted: true, Status: 202, Job: &JobEnvelope{ID: "j1", State: "queued"}},
+		{Index: 1, Accepted: false, Status: 429, Error: "rate limited", RetryAfterS: 3},
+	}})
+	f.Add(good, 2)
+	f.Add([]byte(`{"results":[]}`), 0)
+	f.Add([]byte(`{"results":[{"index":5,"accepted":true}]}`), 1)
+	f.Add([]byte(`{"results":[{"index":0},{"index":0}]}`), 2)
+	f.Fuzz(func(t *testing.T, data []byte, items int) {
+		if items < 0 || items > 1<<12 {
+			return
+		}
+		env, err := DecodeBatchEnvelope(data, items)
+		if err != nil {
+			return
+		}
+		if len(env.Results) != items {
+			t.Fatalf("accepted %d results for %d items", len(env.Results), items)
+		}
+		seen := map[int]bool{}
+		for _, it := range env.Results {
+			if it.Index < 0 || it.Index >= items || seen[it.Index] {
+				t.Fatalf("accepted bad/duplicate index %d", it.Index)
+			}
+			seen[it.Index] = true
+			if it.Accepted && (it.Job == nil || it.Job.ID == "" || !validStates[it.Job.State]) {
+				t.Fatal("accepted item without an actionable job envelope")
+			}
+		}
+	})
+}

@@ -5,15 +5,18 @@ import (
 )
 
 // checkFailpointCoverage enforces failure-injection coverage for durable
-// I/O: inside internal/service, internal/persist, internal/batch and
-// internal/merkle, any function that calls os.WriteFile, os.Rename,
-// (*os.File).Sync, or performs a disk-cache read (os.ReadFile, os.Open)
-// must also evaluate a faultinject failpoint, so the crash-safety tests
-// can fault that seam. An uninstrumented write path is exactly the
-// regression the journal, checkpoint and audit-log tests cannot see.
+// and peer I/O: inside internal/service, internal/persist, internal/batch,
+// internal/merkle and internal/cluster, any function that calls
+// os.WriteFile, os.Rename, (*os.File).Sync, performs a disk-cache read
+// (os.ReadFile, os.Open), or issues a peer HTTP request
+// ((*net/http.Client).Do) must also evaluate a faultinject failpoint, so
+// the crash-safety tests and cluster drills can fault that seam. An
+// uninstrumented write or forward path is exactly the regression the
+// journal, checkpoint, audit-log and kill-a-peer tests cannot see.
 func checkFailpointCoverage(p *Package, r *Reporter) {
 	if !p.PathContains("internal/service") && !p.PathContains("internal/persist") &&
-		!p.PathContains("internal/batch") && !p.PathContains("internal/merkle") {
+		!p.PathContains("internal/batch") && !p.PathContains("internal/merkle") &&
+		!p.PathContains("internal/cluster") {
 		return
 	}
 	for _, f := range p.Files {
@@ -62,6 +65,8 @@ func riskyIOCalls(p *Package, body *ast.BlockStmt) []riskyCall {
 			out = append(out, riskyCall{call, "os.Open"})
 		case fullName(f) == "(*os.File).Sync":
 			out = append(out, riskyCall{call, "(*os.File).Sync"})
+		case fullName(f) == "(*net/http.Client).Do":
+			out = append(out, riskyCall{call, "(*net/http.Client).Do"})
 		}
 		return true
 	})

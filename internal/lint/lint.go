@@ -9,7 +9,9 @@
 //	goroutine-hygiene  no fire-and-forget goroutines in internal/service
 //	                   or internal/parallel
 //	failpoint-coverage durable I/O in internal/service and
-//	                   internal/persist runs under a faultinject failpoint
+//	                   internal/persist — and peer HTTP I/O in
+//	                   internal/cluster — runs under a faultinject
+//	                   failpoint
 //	errwrap            wrap errors with %w, compare with errors.Is
 //	checked-solve      only internal/numeric may call raw Solve/SteadyState
 //	mutex-discipline   no return between Lock and a non-deferred Unlock
@@ -59,7 +61,7 @@ func Rules() []Rule {
 	return []Rule{
 		{Name: "ctxfirst", Doc: "exported blocking functions take context.Context first; Background/TODO confined to main, tests, examples", Check: checkCtxFirst},
 		{Name: "goroutine-hygiene", Doc: "goroutines in internal/service and internal/parallel must be WaitGroup-tracked", Check: checkGoroutineHygiene},
-		{Name: "failpoint-coverage", Doc: "durable I/O in internal/service and internal/persist must run under a faultinject failpoint", Check: checkFailpointCoverage},
+		{Name: "failpoint-coverage", Doc: "durable I/O in internal/service and internal/persist, and peer HTTP I/O in internal/cluster, must run under a faultinject failpoint", Check: checkFailpointCoverage},
 		{Name: "errwrap", Doc: "wrap embedded errors with %w and compare sentinels with errors.Is", Check: checkErrWrap},
 		{Name: "checked-solve", Doc: "raw Solve/SteadyState are reserved for internal/numeric; callers use the *Checked variants", Check: checkCheckedSolve},
 		{Name: "mutex-discipline", Doc: "no return between Lock and its Unlock unless the unlock is deferred", Check: checkMutexDiscipline},

@@ -1,0 +1,38 @@
+// Package cluster is the golden fixture for the failpoint-coverage
+// rule's peer-I/O seam: inside import paths containing internal/cluster,
+// every (*net/http.Client).Do must run in a function that evaluates a
+// faultinject failpoint, so the kill-a-peer drill can fault forwards and
+// health probes without a real dead node.
+package cluster
+
+import (
+	"net/http"
+
+	"example.com/fixture/internal/faultinject"
+)
+
+var hc = &http.Client{}
+
+// forwardRaw issues a peer request with no failpoint in the function.
+func forwardRaw(req *http.Request) (*http.Response, error) {
+	return hc.Do(req) // want `\(\*net/http\.Client\)\.Do without a faultinject failpoint in forwardRaw`
+}
+
+// forwardGuarded evaluates a failpoint before the same request: fine.
+func forwardGuarded(req *http.Request) (*http.Response, error) {
+	if err := faultinject.Hit("cluster.forward"); err != nil {
+		return nil, err
+	}
+	return hc.Do(req)
+}
+
+// probeGuarded is fine too: the failpoint may sit anywhere in the
+// function, including after the call it guards.
+func probeGuarded(req *http.Request) error {
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return faultinject.Hit("cluster.health-probe")
+}

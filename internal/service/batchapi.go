@@ -82,6 +82,10 @@ func batchSubmissionFromItem(it BatchItem) (batchSubmission, error) {
 		if it.Chips > 1 {
 			return batchSubmission{}, fmt.Errorf("chips is a population field (got %d for a lifetime item)", it.Chips)
 		}
+	case KindChip:
+		if it.Chips > 1 {
+			return batchSubmission{}, fmt.Errorf("chip items are single-chip (got chips=%d)", it.Chips)
+		}
 	case KindPopulation:
 		if it.Chips <= 0 {
 			return batchSubmission{}, fmt.Errorf("population items need chips ≥ 1, got %d", it.Chips)

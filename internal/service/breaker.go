@@ -1,154 +1,32 @@
 package service
 
 import (
-	"errors"
-	"sync"
 	"time"
+
+	"github.com/kit-ces/hayat/internal/circuit"
 )
+
+// The breaker state machine lives in internal/circuit (shared with the
+// per-peer breakers in internal/cluster). These aliases keep the
+// service-level API and existing call sites stable.
 
 // ErrBreakerOpen is returned (wrapped) when a circuit breaker rejects a
 // call without attempting it.
-var ErrBreakerOpen = errors.New("service: circuit breaker open")
+var ErrBreakerOpen = circuit.ErrOpen
 
-// breaker states.
+// breaker state names, re-exported for tests and metrics assertions.
 const (
-	breakerClosed   = "closed"
-	breakerOpen     = "open"
-	breakerHalfOpen = "half-open"
+	breakerClosed   = circuit.Closed
+	breakerOpen     = circuit.Open
+	breakerHalfOpen = circuit.HalfOpen
 )
 
-// breaker is a consecutive-failure circuit breaker guarding one fallible
-// dependency (disk cache, checkpoint persistence). Closed passes calls
-// through; `threshold` consecutive failures trip it open, rejecting calls
-// instantly so a wedged disk cannot stall the hot path. After `cooldown`
-// the next call runs as a half-open probe: success closes the breaker,
-// failure reopens it for another cooldown.
-type breaker struct {
-	name      string
-	threshold int
-	cooldown  time.Duration
-
-	mu       sync.Mutex
-	state    string
-	fails    int       // consecutive failures while closed
-	openedAt time.Time // when the breaker last tripped
-	probing  bool      // a half-open probe is in flight
-
-	trips     int64 // closed→open transitions
-	rejected  int64 // calls short-circuited while open
-	successes int64
-	failures  int64
-}
+type breaker = circuit.Breaker
 
 func newBreaker(name string, threshold int, cooldown time.Duration) *breaker {
-	if threshold <= 0 {
-		threshold = 5
-	}
-	if cooldown <= 0 {
-		cooldown = 5 * time.Second
-	}
-	return &breaker{name: name, threshold: threshold, cooldown: cooldown, state: breakerClosed}
-}
-
-// allow reports whether a call may proceed. While open it returns false
-// until the cooldown elapses, then admits exactly one half-open probe at
-// a time.
-func (b *breaker) allow() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerClosed:
-		return true
-	case breakerOpen:
-		if time.Since(b.openedAt) < b.cooldown {
-			b.rejected++
-			return false
-		}
-		b.state = breakerHalfOpen
-		b.probing = true
-		return true
-	default: // half-open: one probe only
-		if b.probing {
-			b.rejected++
-			return false
-		}
-		b.probing = true
-		return true
-	}
-}
-
-// report records a call's outcome and drives the state machine.
-func (b *breaker) report(ok bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if ok {
-		b.successes++
-		b.fails = 0
-		b.probing = false
-		b.state = breakerClosed
-		return
-	}
-	b.failures++
-	if b.state == breakerHalfOpen {
-		// Failed probe: straight back to open for another cooldown.
-		b.probing = false
-		b.state = breakerOpen
-		b.openedAt = time.Now()
-		b.trips++
-		return
-	}
-	b.fails++
-	if b.fails >= b.threshold {
-		b.state = breakerOpen
-		b.openedAt = time.Now()
-		b.fails = 0
-		b.trips++
-	}
-}
-
-// isOpen reports whether the breaker is currently rejecting calls (open
-// and still inside its cooldown) without mutating the state machine.
-func (b *breaker) isOpen() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.state == breakerOpen && time.Since(b.openedAt) < b.cooldown
-}
-
-// do runs fn through the breaker: short-circuits with ErrBreakerOpen when
-// open, otherwise executes fn and feeds its outcome back.
-func (b *breaker) do(fn func() error) error {
-	if !b.allow() {
-		return ErrBreakerOpen
-	}
-	err := fn()
-	b.report(err == nil)
-	return err
+	return circuit.New(name, threshold, cooldown)
 }
 
 // BreakerSnapshot is one breaker's externally visible state, served on
 // GET /metrics under "breakers".
-type BreakerSnapshot struct {
-	State     string `json:"state"`
-	Trips     int64  `json:"trips"`
-	Rejected  int64  `json:"rejected"`
-	Successes int64  `json:"successes"`
-	Failures  int64  `json:"failures"`
-}
-
-func (b *breaker) snapshot() BreakerSnapshot {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	state := b.state
-	// An open breaker whose cooldown has lapsed will admit the next call;
-	// report it as half-open so operators see recovery is imminent.
-	if state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
-		state = breakerHalfOpen
-	}
-	return BreakerSnapshot{
-		State:     state,
-		Trips:     b.trips,
-		Rejected:  b.rejected,
-		Successes: b.successes,
-		Failures:  b.failures,
-	}
-}
+type BreakerSnapshot = circuit.Snapshot

@@ -176,7 +176,7 @@ func (s *resultStore) throughBreaker(fn func() error) error {
 	if s.brk == nil {
 		return fn()
 	}
-	return s.brk.do(fn)
+	return s.brk.Do(fn)
 }
 
 func (s *resultStore) path(key string) string {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/kit-ces/hayat"
+	"github.com/kit-ces/hayat/internal/cluster"
 )
 
 // LifetimeRequest is the body of POST /v1/lifetime. Config fields use the
@@ -64,7 +65,8 @@ type errorBody struct {
 //	GET    /v1/jobs/{id}/result canonical result bytes (what the proof covers)
 //	GET    /v1/jobs/{id}/proof  Merkle inclusion proof for the result
 //	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /healthz            liveness
+//	GET    /healthz            liveness (pure: alive even while draining)
+//	GET    /readyz             readiness (503 until replay + workers + first peer sweep)
 //	GET    /metrics            counters and latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -76,6 +78,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleJobProof)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -119,6 +122,9 @@ func (s *Server) handleLifetime(w http.ResponseWriter, r *http.Request) {
 		Deadline:   time.Duration(req.DeadlineMS) * time.Millisecond,
 		QueueTTL:   time.Duration(req.QueueTTLMS) * time.Millisecond,
 		DegradedOK: req.DegradedOK,
+		// A submit that already hopped once never hops again: divergent
+		// ring views must not bounce a job between peers.
+		NoForward: r.Header.Get(cluster.ForwardedHeader) != "",
 	})
 	s.respondSubmit(w, r, st, err, req.Wait)
 }
@@ -152,8 +158,18 @@ const drainingRetryAfter = 10 // seconds
 // this client to back off), 200 for a cache hit or finished wait, and 202
 // for an accepted asynchronous job.
 func (s *Server) respondSubmit(w http.ResponseWriter, r *http.Request, st JobStatus, err error, wait bool) {
+	var busy *cluster.BusyError
 	switch {
 	case err == nil:
+	case errors.As(err, &busy):
+		// The key's owner is shedding load: its backpressure (and its
+		// Retry-After) pass through verbatim — the client backs off exactly
+		// as if it had reached the owner directly.
+		if busy.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(busy.RetryAfter.Seconds())))
+		}
+		writeError(w, busy.Status, err)
+		return
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(drainingRetryAfter))
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -276,6 +292,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReady answers GET /readyz: 200 once the node should receive
+// traffic, 503 (with machine-readable reasons) before journal replay and
+// worker startup finish, while draining, and — in cluster mode — before
+// the first peer health sweep. This is also the endpoint peers probe.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	rs := s.Readiness()
+	code := http.StatusOK
+	if !rs.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rs)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.met.Snapshot()
 	as := s.ArtifactStats()
@@ -291,6 +320,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Merkle.SealedSegments = ast.SealedSegments
 	snap.Breakers = s.Breakers()
 	snap.Failpoints = s.Failpoints()
+	if s.router != nil {
+		snap.Cluster.Enabled = true
+		snap.Cluster.Self = s.router.Self()
+		snap.Cluster.Peers = s.router.Snapshot()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

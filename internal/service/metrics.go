@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/kit-ces/hayat/internal/cluster"
 	"github.com/kit-ces/hayat/internal/sim"
 )
 
@@ -216,6 +217,19 @@ type Metrics struct {
 	// thermal and aging phases of every epoch executed by this server.
 	EpochStageNanos  [3]Counter
 	EpochStageCounts [3]Counter
+
+	// Cluster forwarding outcomes (all zero in single-node mode).
+	ForwardAttempts      Counter // submits whose key a remote peer owned
+	Forwards             Counter // forwards accepted by the owner
+	ForwardBusy          Counter // owner 429/503 passed through to the client
+	ForwardFailures      Counter // forwards that exhausted retries
+	ForwardFallbackLocal Counter // jobs degraded to local execution
+	Reroutes             Counter // work re-routed to a key's next owner
+	ChipsForwarded       Counter // population chips accepted by peers
+	ChipsFetched         Counter // chip results fetched and validated
+	ChipsStolen          Counter // chips stolen back to local simulation
+	ForwardLatency       Histogram
+	RemoteFetch          Histogram
 }
 
 // ObserveStage is a sim.StageObserver: it accumulates per-epoch stage
@@ -297,6 +311,24 @@ type MetricsSnapshot struct {
 		Segments       int `json:"segments"`
 		SealedSegments int `json:"sealed_segments"`
 	} `json:"merkle"`
+	Cluster struct {
+		Enabled              bool              `json:"enabled"`
+		Self                 string            `json:"self,omitempty"`
+		ForwardAttempts      int64             `json:"forward_attempts"`
+		Forwards             int64             `json:"forwards"`
+		ForwardBusy          int64             `json:"forward_busy"`
+		ForwardFailures      int64             `json:"forward_failures"`
+		ForwardFallbackLocal int64             `json:"forward_fallback_local"`
+		Reroutes             int64             `json:"reroutes"`
+		ChipsForwarded       int64             `json:"chips_forwarded"`
+		ChipsFetched         int64             `json:"chips_fetched"`
+		ChipsStolen          int64             `json:"chips_stolen"`
+		ForwardSeconds       HistogramSnapshot `json:"forward_seconds"`
+		FetchSeconds         HistogramSnapshot `json:"fetch_seconds"`
+		// Peers is filled in by the server from the live router (per-peer
+		// health state, probe counts and breaker snapshots).
+		Peers map[string]cluster.PeerSnapshot `json:"peers,omitempty"`
+	} `json:"cluster"`
 	// Breakers and Failpoints are filled in by the server (they live
 	// outside Metrics); empty maps are elided.
 	Breakers   map[string]BreakerSnapshot `json:"breakers,omitempty"`
@@ -352,6 +384,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.Admission.Evicted = m.JobsEvicted.Value()
 	s.Admission.Degraded = m.JobsDegraded.Value()
 	s.Admission.RateLimited = m.RateLimited.Value()
+	s.Cluster.ForwardAttempts = m.ForwardAttempts.Value()
+	s.Cluster.Forwards = m.Forwards.Value()
+	s.Cluster.ForwardBusy = m.ForwardBusy.Value()
+	s.Cluster.ForwardFailures = m.ForwardFailures.Value()
+	s.Cluster.ForwardFallbackLocal = m.ForwardFallbackLocal.Value()
+	s.Cluster.Reroutes = m.Reroutes.Value()
+	s.Cluster.ChipsForwarded = m.ChipsForwarded.Value()
+	s.Cluster.ChipsFetched = m.ChipsFetched.Value()
+	s.Cluster.ChipsStolen = m.ChipsStolen.Value()
+	s.Cluster.ForwardSeconds = m.ForwardLatency.Snapshot()
+	s.Cluster.FetchSeconds = m.RemoteFetch.Snapshot()
 	s.SimRuns = m.SimRuns.Value()
 	s.StageSeconds = map[string]HistogramSnapshot{
 		"queue_wait": m.QueueWait.Snapshot(),

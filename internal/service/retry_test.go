@@ -10,71 +10,6 @@ import (
 	"github.com/kit-ces/hayat/internal/faultinject"
 )
 
-func TestBreakerTripAndRecover(t *testing.T) {
-	b := newBreaker("test", 3, 50*time.Millisecond)
-	boom := errors.New("boom")
-	failing := func() error { return boom }
-
-	// Two failures: still closed.
-	for i := 0; i < 2; i++ {
-		if err := b.do(failing); !errors.Is(err, boom) {
-			t.Fatalf("closed breaker returned %v", err)
-		}
-	}
-	if st := b.snapshot(); st.State != breakerClosed {
-		t.Fatalf("state %s after 2 failures", st.State)
-	}
-	// Third consecutive failure trips it.
-	b.do(failing)
-	if st := b.snapshot(); st.State != breakerOpen || st.Trips != 1 {
-		t.Fatalf("after trip: %+v", st)
-	}
-	// Open: calls short-circuit without running fn.
-	ran := false
-	if err := b.do(func() error { ran = true; return nil }); !errors.Is(err, ErrBreakerOpen) {
-		t.Fatalf("open breaker returned %v", err)
-	}
-	if ran {
-		t.Fatal("open breaker executed the call")
-	}
-
-	// After the cooldown a probe is admitted; success closes the breaker.
-	time.Sleep(60 * time.Millisecond)
-	if err := b.do(func() error { return nil }); err != nil {
-		t.Fatalf("probe failed: %v", err)
-	}
-	if st := b.snapshot(); st.State != breakerClosed {
-		t.Fatalf("state %s after successful probe", st.State)
-	}
-
-	// Trip again; a failed probe reopens for another cooldown.
-	for i := 0; i < 3; i++ {
-		b.do(failing)
-	}
-	time.Sleep(60 * time.Millisecond)
-	b.do(failing) // failed probe
-	if st := b.snapshot(); st.Trips != 3 {
-		t.Fatalf("trips %d, want 3 (initial + re-trip + failed probe)", st.Trips)
-	}
-	if err := b.do(func() error { return nil }); !errors.Is(err, ErrBreakerOpen) {
-		t.Fatalf("reopened breaker admitted a call: %v", err)
-	}
-}
-
-func TestBreakerSuccessResetsCount(t *testing.T) {
-	b := newBreaker("test", 3, time.Second)
-	boom := errors.New("boom")
-	// failure, failure, success, repeated: never trips.
-	for i := 0; i < 10; i++ {
-		b.do(func() error { return boom })
-		b.do(func() error { return boom })
-		b.do(func() error { return nil })
-	}
-	if st := b.snapshot(); st.State != breakerClosed || st.Trips != 0 {
-		t.Fatalf("interleaved successes still tripped: %+v", st)
-	}
-}
-
 func TestRetryPolicyBackoff(t *testing.T) {
 	pol := RetryPolicy{}.withDefaults()
 	if pol.MaxAttempts != 4 || pol.BaseDelay != 50*time.Millisecond {

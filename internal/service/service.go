@@ -19,10 +19,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/kit-ces/hayat"
 	"github.com/kit-ces/hayat/internal/batch"
+	"github.com/kit-ces/hayat/internal/cluster"
 	"github.com/kit-ces/hayat/internal/faultinject"
 	"github.com/kit-ces/hayat/internal/merkle"
 	"github.com/kit-ces/hayat/internal/persist"
@@ -35,10 +37,14 @@ const (
 	fpCheckpointRead  = "service.checkpoint-read"
 )
 
-// Job kinds.
+// Job kinds. KindChip is a single-chip job whose canonical result bytes
+// are the compact raw simulation blob (what a ChipResultStore holds)
+// rather than the indented lifetime record — it is the unit of cluster
+// population fan-out and is only reachable through the batch API.
 const (
 	KindLifetime   = "lifetime"
 	KindPopulation = "population"
+	KindChip       = "chip"
 )
 
 // JobState is a job's lifecycle phase.
@@ -137,6 +143,13 @@ type Job struct {
 
 	doneChips  atomicMax
 	totalChips atomicMax
+
+	// Cluster forwarding: when set, this job is a local tracking shell
+	// for work executing on remotePeer under remoteID. Cleared state is
+	// the normal (local-execution) case; a recovered job always runs
+	// locally (the peer binding is deliberately not journalled).
+	remotePeer string
+	remoteID   string
 
 	cancelRun context.CancelFunc
 	done      chan struct{}
@@ -255,6 +268,11 @@ type Options struct {
 	// AuditSegmentLeaves is the audit tree's segment size (default 256
 	// leaves); a sealed segment's root never changes again.
 	AuditSegmentLeaves int
+	// Cluster, when its Peers list is non-empty, joins this node to a
+	// hayatd cluster: jobs shard across peers by cache key, population
+	// chips fan out, and peer health drives ring membership. See
+	// ClusterOptions.
+	Cluster ClusterOptions
 	// Artifacts optionally shares platform artifacts (Cholesky factors,
 	// thermal LU, predictors, aging tables) with other components; by
 	// default the server creates its own cache.
@@ -272,8 +290,10 @@ type Server struct {
 	start time.Time
 	logf  func(string, ...any)
 
-	jnl      *journal    // nil when journalling is disabled
-	audit    *merkle.Log // always set; memory-only without AuditPath
+	jnl      *journal        // nil when journalling is disabled
+	audit    *merkle.Log     // always set; memory-only without AuditPath
+	router   *cluster.Router // nil in single-node mode
+	ready    atomic.Bool     // journal replayed + worker pool up
 	bat      *batch.Batcher[batchSubmission, BatchItemResult]
 	cacheBrk *breaker
 	ckptBrk  *breaker
@@ -383,11 +403,22 @@ func New(opts Options) (*Server, error) {
 		s.logf("service: audit replay skipped %d corrupt line(s)", auditCorrupt)
 	}
 	s.bat = batch.New(batch.Options{MaxItems: opts.BatchMaxItems, MaxWait: opts.BatchMaxWait}, s.flushBatch)
+	router, err := newRouter(opts, logf)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.router = router
 	s.recover(pending)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.router != nil {
+		s.router.Start(ctx)
+		s.logf("service: cluster mode: self=%s peers=%v", s.router.Self(), s.router.Peers())
+	}
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -470,8 +501,8 @@ func (s *Server) recordTerminal(op, id string) {
 // Breakers snapshots the server's circuit breakers for /metrics.
 func (s *Server) Breakers() map[string]BreakerSnapshot {
 	return map[string]BreakerSnapshot{
-		s.cacheBrk.name: s.cacheBrk.snapshot(),
-		s.ckptBrk.name:  s.ckptBrk.snapshot(),
+		s.cacheBrk.Name(): s.cacheBrk.Stats(),
+		s.ckptBrk.Name():  s.ckptBrk.Stats(),
 	}
 }
 
@@ -576,6 +607,23 @@ func (s *Server) submit(req request, o SubmitOpts) (JobStatus, error) {
 		s.mu.Unlock()
 		return JobStatus{}, ErrDraining
 	}
+	// Cluster mode: a key owned by a healthy remote peer forwards there
+	// (one hop — forwarded submits carry a loop-breaking header). Forwards
+	// are never rate-limited locally; the owner charges its own limiter.
+	if s.router != nil && !o.NoForward && !o.DegradedOK && req.Kind == KindLifetime {
+		if _, local := s.router.Owner(key); !local {
+			s.mu.Unlock()
+			if st, handled, ferr := s.maybeForward(req, key, o); handled {
+				return st, ferr
+			}
+			// The forward failed after retries: degrade to local execution.
+			// Content-addressed results make this always correct — the only
+			// cost is a cache entry living on the "wrong" node.
+			s.met.ForwardFallbackLocal.Add(1)
+			o.NoForward = true
+			return s.submit(req, o)
+		}
+	}
 	// Only work-creating submits consume rate-limit tokens; coalesced and
 	// cached answers above are free.
 	if err := s.adm.reserve(o.clientName()); err != nil {
@@ -584,7 +632,7 @@ func (s *Server) submit(req request, o SubmitOpts) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	degradedOK := o.DegradedOK && req.Kind == KindLifetime
-	if degradedOK && (s.adm.pressure() || s.cacheBrk.isOpen()) {
+	if degradedOK && (s.adm.pressure() || s.cacheBrk.IsOpen()) {
 		s.mu.Unlock()
 		return s.serveDegraded(req, key, pol, o)
 	}
@@ -823,6 +871,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(done)
 	}()
 	finish := func() {
+		if s.router != nil {
+			s.router.Close()
+		}
 		s.jnl.Close()
 		if err := s.audit.Close(); err != nil {
 			s.logf("service: %v", err)
@@ -1024,6 +1075,15 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 		// don't spend seconds building a chip only to throw it away.
 		return nil, err
 	}
+	if j.remotePeer != "" && s.router != nil {
+		data, ferr, handled := s.executeForwarded(ctx, j)
+		if handled {
+			return data, ferr
+		}
+		// The owner (and its one re-route) is gone: run the job here.
+		s.met.ForwardFallbackLocal.Add(1)
+		s.logf("service: %s executing locally after remote failure", j.id)
+	}
 	pol, err := hayat.ParsePolicy(j.req.Policy)
 	if err != nil {
 		return nil, err
@@ -1036,7 +1096,7 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 
 	var buf bytes.Buffer
 	switch j.req.Kind {
-	case KindLifetime:
+	case KindLifetime, KindChip:
 		var chip *hayat.Chip
 		err := s.withRetries(ctx, j.id, func() error {
 			if ferr := faultinject.Hit(fpJobSpawn); ferr != nil {
@@ -1063,7 +1123,15 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 		}
 		s.met.Simulate.Observe(time.Since(simStart))
 		encStart := time.Now()
-		if err := res.WriteJSON(&buf); err != nil {
+		if j.req.Kind == KindChip {
+			// Chip jobs publish the compact raw simulation blob — the bytes
+			// a population coordinator's ChipResultStore consumes verbatim.
+			data, cerr := res.ChipJSON()
+			if cerr != nil {
+				return nil, cerr
+			}
+			buf.Write(data)
+		} else if err := res.WriteJSON(&buf); err != nil {
 			return nil, err
 		}
 		s.met.Encode.Observe(time.Since(encStart))
@@ -1074,12 +1142,22 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 		s.met.Setup.Observe(time.Since(setupStart))
 		simStart := time.Now()
 		s.met.SimRuns.Add(1)
+		// Cluster mode: shard the chips across up peers; remote chips arrive
+		// through the store, and any that don't are stolen back and
+		// simulated locally — byte-identical either way.
+		store := s.chipStore(j.key)
+		if s.router != nil {
+			if cst, cleanup := s.newClusterPopStore(ctx, j, store); cst != nil {
+				defer cleanup()
+				store = cst
+			}
+		}
 		var pr *hayat.PopulationResult
 		err = s.withRetries(ctx, j.id, func() error {
 			var rerr error
 			pr, rerr = sys.RunPopulationResumable(ctx, j.req.Seed, j.req.Chips, pol,
 				func(done, total int) { j.doneChips.raise(int64(done)) },
-				s.chipStore(j.key))
+				store)
 			return rerr
 		})
 		if err != nil {
@@ -1157,7 +1235,7 @@ func (s *Server) runLifetime(ctx context.Context, j *Job, chip *hayat.Chip, pol 
 // point with a fresher checkpoint.
 func (s *Server) checkpointSink(path string) hayat.CheckpointSink {
 	return func(nextEpoch int, data []byte) error {
-		err := s.ckptBrk.do(func() error {
+		err := s.ckptBrk.Do(func() error {
 			return atomicWrite(path, data)
 		})
 		if err != nil {
@@ -1242,7 +1320,7 @@ func (c *chipStore) Load(seed int64) ([]byte, bool) {
 }
 
 func (c *chipStore) Save(seed int64, data []byte) error {
-	err := c.s.ckptBrk.do(func() error {
+	err := c.s.ckptBrk.Do(func() error {
 		return atomicWrite(c.path(seed), persist.EncodeFrame(data))
 	})
 	if err != nil {

@@ -218,6 +218,40 @@ func saveChipResult(store ChipResultStore, seed int64, res *LifetimeResult) {
 	_ = store.Save(seed, data)
 }
 
+// ChipJSON serialises the chip's raw simulation result — the exact blob a
+// ChipResultStore holds and ValidateChipJSON accepts. It is the canonical
+// result encoding of a single-chip ("chip" kind) service job, which is
+// how population chips fan out across hayatd peers: the bytes a peer
+// returns feed the coordinator's store and round-trip exactly, so a
+// distributed population is byte-identical to a local one.
+func (r *LifetimeResult) ChipJSON() ([]byte, error) {
+	if r.res == nil {
+		return nil, fmt.Errorf("hayat: result carries no raw simulation data")
+	}
+	return json.Marshal(r.res)
+}
+
+// ValidateChipJSON checks that data is a usable chip blob for the given
+// seed and canonical policy name — the same acceptance rule a resuming
+// population run applies, exported so a node can vet bytes fetched from
+// a peer before trusting them.
+func ValidateChipJSON(data []byte, seed int64, policy string) error {
+	var res sim.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("hayat: chip blob: %w", err)
+	}
+	if res.ChipSeed != seed {
+		return fmt.Errorf("hayat: chip blob is for seed %d, want %d", res.ChipSeed, seed)
+	}
+	if res.Policy != policy {
+		return fmt.Errorf("hayat: chip blob is for policy %q, want %q", res.Policy, policy)
+	}
+	if len(res.Records) == 0 {
+		return fmt.Errorf("hayat: chip blob has no epoch records")
+	}
+	return nil
+}
+
 // Comparison holds Hayat-vs-baseline ratios; values below 1 favour Hayat
 // (these are the normalised bars of Figs. 7–10).
 type Comparison struct {
