@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke fmt bench bench-submit drill-cluster
+.PHONY: build test race lint fuzz-smoke fmt bench bench-submit drill-cluster drill-replication
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,7 @@ fuzz-smoke:
 	fuzz ./internal/cluster   FuzzDecodeJobEnvelope; \
 	fuzz ./internal/cluster   FuzzDecodeProbe; \
 	fuzz ./internal/cluster   FuzzDecodeBatchEnvelope; \
+	fuzz ./internal/store     FuzzDecodeStoreEnvelope; \
 	fuzz ./internal/merkle    FuzzVerifyProof; \
 	fuzz ./internal/merkle    FuzzParseHash; \
 	fuzz ./internal/aging     FuzzTableLookup; \
@@ -57,6 +58,14 @@ fmt:
 # verifying Merkle proof and zero client-visible 5xx.
 drill-cluster:
 	$(GO) test -race -run '^TestClusterKillPeerDrill$$' -v ./internal/service
+
+# The replicated-store drill: 3 real hayatd nodes, a key's owner
+# SIGKILLed after replication, the result still served byte-identical
+# from a replica with a verifying Merkle proof and zero client-visible
+# 5xx; the restarted owner is read-repaired by the anti-entropy sweep
+# and replication debt returns to zero.
+drill-replication:
+	$(GO) test -race -run '^TestReplicationKillOwnerDrill$$' -v ./internal/service
 
 # Epoch hot-path benchmarks → committed JSON baseline. BENCHTIME=1x gives
 # a fast smoke run (CI); raise it (e.g. 2s) for a stable local baseline.

@@ -12,6 +12,7 @@
 //	       [-default-deadline D] [-shed-start F] [-pprof-addr ADDR]
 //	       [-batch-max N] [-batch-wait D] [-audit FILE]
 //	       [-self URL -peers URL,URL,...] [-probe-interval D] [-steal-after D]
+//	       [-replicas N] [-anti-entropy-interval D]
 //
 // With -peers (comma-separated base URLs of the OTHER nodes) and -self
 // (this node's own base URL as peers reach it), the daemon joins a hayatd
@@ -22,6 +23,12 @@
 // owner) and restoring them when they recover. A chip whose remote result
 // has not arrived after -steal-after is stolen back and simulated
 // locally. With all peers down the node serves the full single-node API.
+//
+// In cluster mode every terminal result is also replicated to its key's
+// -replicas ring successors (Merkle-verified on read; a dead owner's
+// results keep serving from replicas), and a background anti-entropy
+// sweep every -anti-entropy-interval read-repairs missing or divergent
+// copies and pays down replication debt accrued while peers were down.
 //
 // With -journal, accepted jobs are write-ahead journalled and re-enqueued
 // (under their original IDs) after a crash; with -checkpoints, recovered
@@ -88,6 +95,8 @@ func main() {
 		self       = flag.String("self", "", "this node's own base URL as peers reach it (required with -peers)")
 		probeEvery = flag.Duration("probe-interval", time.Second, "peer /readyz health-probe cadence in cluster mode")
 		stealAfter = flag.Duration("steal-after", time.Minute, "steal a population chip back to local simulation when its remote result is this late")
+		replicas   = flag.Int("replicas", service.DefaultReplicas, "ring successors holding a copy of every result in cluster mode (negative: owner-only)")
+		antiEvery  = flag.Duration("anti-entropy-interval", 0, "store anti-entropy sweep cadence (0: 30s default)")
 		// Write timeout must cover wait=true long-polls, which block for a
 		// whole simulation.
 		waitBudget = flag.Duration("wait-budget", 15*time.Minute, "HTTP write timeout (bounds wait=true long-polls)")
@@ -109,21 +118,23 @@ func main() {
 	}
 
 	srv, err := service.New(service.Options{
-		Workers:         *workers,
-		SimWorkers:      *simWorkers,
-		QueueDepth:      *queue,
-		DataDir:         *data,
-		JournalPath:     *journal,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		MaxClientRPS:    *maxRPS,
-		DefaultDeadline: *defaultDL,
-		ShedStart:       *shedStart,
-		BatchMaxItems:   *batchMax,
-		BatchMaxWait:    *batchWait,
-		AuditPath:       *audit,
-		Cluster:         clusterOptions(*peers, *self, *probeEvery, *stealAfter),
-		Logf:            log.Printf,
+		Workers:             *workers,
+		SimWorkers:          *simWorkers,
+		QueueDepth:          *queue,
+		DataDir:             *data,
+		JournalPath:         *journal,
+		CheckpointDir:       *ckptDir,
+		CheckpointEvery:     *ckptEvery,
+		MaxClientRPS:        *maxRPS,
+		DefaultDeadline:     *defaultDL,
+		ShedStart:           *shedStart,
+		BatchMaxItems:       *batchMax,
+		BatchMaxWait:        *batchWait,
+		AuditPath:           *audit,
+		Replicas:            *replicas,
+		AntiEntropyInterval: *antiEvery,
+		Cluster:             clusterOptions(*peers, *self, *probeEvery, *stealAfter),
+		Logf:                log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"github.com/kit-ces/hayat/internal/faultinject"
+	"github.com/kit-ces/hayat/internal/merkle"
+	"github.com/kit-ces/hayat/internal/store"
 )
 
 // Failpoints (armed via HAYAT_FAILPOINTS / -failpoints). cluster.forward
@@ -28,6 +30,11 @@ const (
 // must execute locally and never re-forward, so divergent ring views
 // (during eviction/recovery windows) cannot produce forwarding loops.
 const ForwardedHeader = "X-Hayat-Forwarded"
+
+// LeafHeader carries a replica entry's hex Merkle leaf hash on
+// /v1/store responses, so StoreStat can compare copies across nodes
+// without moving payloads.
+const LeafHeader = "X-Hayat-Leaf"
 
 // Decoder caps. Peer responses are untrusted input (a peer may be a
 // different build, mid-crash, or behind a confused proxy): every decode
@@ -363,6 +370,73 @@ func (c *Client) Cancel(ctx context.Context, peer, id string) error {
 		return &statusError{peer: peer, code: code, body: truncate(payload, 200)}
 	}
 	return nil
+}
+
+// StoreGet fetches key's replica envelope from peer (GET /v1/store/{key})
+// and returns the envelope-verified payload. ok=false with a nil error
+// is a clean miss (the peer answered 404); a mis-keyed or corrupt
+// envelope is a decodeError, never served.
+func (c *Client) StoreGet(ctx context.Context, peer, key string) ([]byte, bool, error) {
+	code, _, payload, err := c.do(ctx, http.MethodGet, peer+"/v1/store/"+key, nil, maxResultBytes)
+	if err != nil {
+		return nil, false, err
+	}
+	switch code {
+	case http.StatusOK:
+		ekey, data, derr := store.DecodeEnvelope(payload)
+		if derr != nil {
+			return nil, false, &decodeError{derr}
+		}
+		if ekey != key {
+			return nil, false, &decodeError{fmt.Errorf("envelope keyed %s, want %s", ekey, key)}
+		}
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, &statusError{peer: peer, code: code, body: truncate(payload, 200)}
+	}
+}
+
+// StorePut pushes key's canonical bytes to peer (PUT /v1/store/{key}),
+// envelope-wrapped. A 409 means the peer's own audit disagrees with
+// these bytes — a determinism fork, surfaced as a non-retryable
+// statusError.
+func (c *Client) StorePut(ctx context.Context, peer, key string, data []byte) error {
+	code, hdr, payload, err := c.do(ctx, http.MethodPut, peer+"/v1/store/"+key, store.EncodeEnvelope(key, data), maxEnvelopeBytes)
+	if err != nil {
+		return err
+	}
+	switch code {
+	case http.StatusNoContent, http.StatusOK:
+		return nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return busyFrom(peer, code, hdr)
+	default:
+		return &statusError{peer: peer, code: code, body: truncate(payload, 200)}
+	}
+}
+
+// StoreStat asks peer for its leaf hash of key (HEAD /v1/store/{key},
+// reading the LeafHeader) without moving the payload. ok=false with a
+// nil error is a clean miss.
+func (c *Client) StoreStat(ctx context.Context, peer, key string) (leaf string, ok bool, err error) {
+	code, hdr, payload, err := c.do(ctx, http.MethodHead, peer+"/v1/store/"+key, nil, maxEnvelopeBytes)
+	if err != nil {
+		return "", false, err
+	}
+	switch code {
+	case http.StatusOK:
+		leaf = hdr.Get(LeafHeader)
+		if _, perr := merkle.ParseHash(leaf); perr != nil {
+			return "", false, &decodeError{fmt.Errorf("bad %s header %q: %w", LeafHeader, leaf, perr)}
+		}
+		return leaf, true, nil
+	case http.StatusNotFound:
+		return "", false, nil
+	default:
+		return "", false, &statusError{peer: peer, code: code, body: truncate(payload, 200)}
+	}
 }
 
 // Probe checks a peer's readiness (GET /readyz). It returns ready=false

@@ -148,6 +148,32 @@ func (r *Ring) ownerLocked(key string, skip map[string]bool) (string, bool) {
 	return "", false
 }
 
+// Successors returns the first n DISTINCT configured peers clockwise
+// from key's ring position — the key's replica set, owner first. Unlike
+// Owner it deliberately ignores enabled state: replica sets must stay
+// stable while peers flap, so a down peer keeps its replica slot and
+// accrues replication debt instead of silently handing the slot to the
+// next arc (which would strand its copies when it recovers).
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || len(r.hashes) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	seen := make(map[string]bool, n)
+	var out []string
+	for i := 0; i < len(r.hashes) && len(out) < n; i++ {
+		p := r.owners[(start+i)%len(r.hashes)]
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Assign distributes keys across the enabled peers with bounded load: each
 // key goes to the first enabled peer clockwise from its position whose
 // assignment is still under ceil(len(keys)/enabled × factor). The bound

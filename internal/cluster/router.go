@@ -338,6 +338,52 @@ func (r *Router) CancelJob(ctx context.Context, peer, id string) error {
 	return r.client.Cancel(ctx, peer, id)
 }
 
+// ReplicaSet returns key's replica set: the n distinct ring members
+// clockwise from key's position, owner first, ignoring health (see
+// Ring.Successors). Together with StoreGet/StorePut/StoreStat/PeerUp
+// this makes the Router the store package's Transport.
+func (r *Router) ReplicaSet(key string, n int) []string {
+	return r.ring.Successors(key, n)
+}
+
+// StoreGet fetches key's replica payload from peer with retries and
+// breaker gating. ok=false with a nil error is a clean miss.
+func (r *Router) StoreGet(ctx context.Context, peer, key string) ([]byte, bool, error) {
+	var (
+		data []byte
+		ok   bool
+	)
+	err := r.withRetry(ctx, peer, func(ctx context.Context) error {
+		var e error
+		data, ok, e = r.client.StoreGet(ctx, peer, key)
+		return e
+	})
+	return data, ok, err
+}
+
+// StorePut pushes key's canonical bytes to peer with retries and
+// breaker gating.
+func (r *Router) StorePut(ctx context.Context, peer, key string, data []byte) error {
+	return r.withRetry(ctx, peer, func(ctx context.Context) error {
+		return r.client.StorePut(ctx, peer, key, data)
+	})
+}
+
+// StoreStat fetches peer's leaf hash for key with retries and breaker
+// gating.
+func (r *Router) StoreStat(ctx context.Context, peer, key string) (string, bool, error) {
+	var (
+		leaf string
+		ok   bool
+	)
+	err := r.withRetry(ctx, peer, func(ctx context.Context) error {
+		var e error
+		leaf, ok, e = r.client.StoreStat(ctx, peer, key)
+		return e
+	})
+	return leaf, ok, err
+}
+
 // probeLoop sweeps every remote peer's /readyz until ctx is cancelled.
 func (r *Router) probeLoop(ctx context.Context) {
 	defer r.wg.Done()

@@ -6,17 +6,18 @@ import (
 
 // checkFailpointCoverage enforces failure-injection coverage for durable
 // and peer I/O: inside internal/service, internal/persist, internal/batch,
-// internal/merkle and internal/cluster, any function that calls
-// os.WriteFile, os.Rename, (*os.File).Sync, performs a disk-cache read
-// (os.ReadFile, os.Open), or issues a peer HTTP request
+// internal/merkle, internal/cluster and internal/store, any function that
+// calls os.WriteFile, os.Rename, (*os.File).Sync, performs a disk-cache
+// read (os.ReadFile, os.Open), or issues a peer HTTP request
 // ((*net/http.Client).Do) must also evaluate a faultinject failpoint, so
 // the crash-safety tests and cluster drills can fault that seam. An
-// uninstrumented write or forward path is exactly the regression the
-// journal, checkpoint, audit-log and kill-a-peer tests cannot see.
+// uninstrumented write, replica or forward path is exactly the regression
+// the journal, checkpoint, audit-log, replication and kill-a-peer tests
+// cannot see.
 func checkFailpointCoverage(p *Package, r *Reporter) {
 	if !p.PathContains("internal/service") && !p.PathContains("internal/persist") &&
 		!p.PathContains("internal/batch") && !p.PathContains("internal/merkle") &&
-		!p.PathContains("internal/cluster") {
+		!p.PathContains("internal/cluster") && !p.PathContains("internal/store") {
 		return
 	}
 	for _, f := range p.Files {

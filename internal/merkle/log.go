@@ -226,6 +226,20 @@ func (l *Log) persistLocked(rec logRecord, seal bool) error {
 	return nil
 }
 
+// Leaf returns the audited leaf hash recorded for key. It is the result
+// store's verify-on-read hook: bytes served under key must hash to
+// exactly this leaf, so a replica (or a rotted local file) that decodes
+// cleanly but differs from what this node audited is still rejected.
+func (l *Log) Leaf(key string) (Hash, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ref, ok := l.refs[key]
+	if !ok {
+		return Hash{}, false
+	}
+	return l.segs[ref.Segment].leaves[ref.LeafIndex], true
+}
+
 // Prove returns the inclusion proof for a key's leaf together with its
 // position and the root it verifies against (the segment's current
 // root — stable forever once the segment seals).

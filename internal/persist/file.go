@@ -1,0 +1,63 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/kit-ces/hayat/internal/faultinject"
+)
+
+// Failpoints on the framed-file seams (the store's durable tier).
+const (
+	fpFrameWrite = "persist.frame-write"
+	fpFrameRead  = "persist.frame-read"
+)
+
+// WriteFramedFile atomically replaces path with a CRC-framed copy of
+// payload: temp file in the same directory, write, fsync, rename — the
+// same discipline as the journal, so a crash leaves either the old
+// entry or the new one, never a torn frame.
+func WriteFramedFile(path string, payload []byte) error {
+	if err := faultinject.Hit(fpFrameWrite); err != nil {
+		return fmt.Errorf("persist: framed write %s: %w", filepath.Base(path), err)
+	}
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: framed write %s: %w", base, err)
+	}
+	_, err = tmp.Write(EncodeFrame(payload))
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: framed write %s: %w", base, err)
+	}
+	return nil
+}
+
+// ReadFramedFile reads and CRC-validates a framed file written by
+// WriteFramedFile. Missing files surface os.IsNotExist errors; corrupt
+// frames wrap ErrCorruptFrame.
+func ReadFramedFile(path string) ([]byte, error) {
+	if err := faultinject.Hit(fpFrameRead); err != nil {
+		return nil, fmt.Errorf("persist: framed read %s: %w", filepath.Base(path), err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := DecodeFrame(raw)
+	if err != nil {
+		return nil, fmt.Errorf("persist: framed read %s: %w", filepath.Base(path), err)
+	}
+	return payload, nil
+}

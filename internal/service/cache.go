@@ -1,138 +1,69 @@
 package service
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
-	"sync"
 
-	"github.com/kit-ces/hayat/internal/faultinject"
-	"github.com/kit-ces/hayat/internal/persist"
+	"github.com/kit-ces/hayat/internal/store"
 )
 
-// Failpoint names on the cache's hot seams (armed via HAYAT_FAILPOINTS).
+// The cache failpoints now live in internal/store (same names, so
+// existing arming specs and drills keep working); these aliases keep
+// the service's failpoint docs and tests referring to one place.
 const (
-	fpCacheRead  = "service.cache-read"
-	fpCacheWrite = "service.cache-write"
+	fpCacheRead  = store.FPCacheRead
+	fpCacheWrite = store.FPCacheWrite
 )
 
-// resultStore is the content-addressed result cache: finished job JSON
-// keyed by the request hash. Entries live in memory and, when a data
-// directory is configured, are also persisted as CRC32C-framed <key>.json
-// files so results survive restarts and torn or bit-flipped entries are
-// detected on read instead of being served. Corrupt files are quarantined
-// (renamed to <key>.json.corrupt) and treated as misses. Stored bytes are
-// returned as-is, which makes repeat hits byte-identical to the original
-// miss.
-//
-// All disk traffic runs through a circuit breaker: a flaking disk trips
-// it open and the store degrades gracefully to its memory tier instead of
-// stalling every request on a dying device.
+// resultStore is the service's view of the content-addressed result
+// store: a store.Replicated (memory tier + CRC-framed disk tier +
+// replica fan-out, see internal/store) with the service's breaker and
+// quarantine observer attached. The breaker and callback are plain
+// fields read at call time, so New and tests can assign them after
+// construction exactly as they did when the cache was bespoke.
 type resultStore struct {
-	mu  sync.Mutex
-	mem map[string][]byte
-	dir string
+	*store.Replicated
+	disk *store.Disk // nil without a data dir
 
 	brk          *breaker // nil → disk unguarded (tests construct bare stores)
 	onQuarantine func()   // observes each quarantined file (may be nil)
 }
 
 func newResultStore(dir string) (*resultStore, error) {
-	s := &resultStore{mem: make(map[string][]byte), dir: dir}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("service: creating data dir: %w", err)
-		}
+	rs := &resultStore{}
+	disk, err := store.OpenDisk(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: creating data dir: %w", err)
 	}
-	return s, nil
-}
-
-// get returns the cached result bytes for key, falling back to the data
-// directory (and re-populating memory) when configured. Disk misbehaviour
-// — injected faults, CRC mismatches, an open breaker — degrades to a
-// cache miss, never an error.
-func (s *resultStore) get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	data, ok := s.mem[key]
-	s.mu.Unlock()
-	if ok {
-		return data, true
-	}
-	if s.dir == "" || !validKey(key) {
-		return nil, false
-	}
-	var payload []byte
-	err := s.throughBreaker(func() error {
-		if ferr := faultinject.Hit(fpCacheRead); ferr != nil {
-			return ferr
-		}
-		raw, rerr := os.ReadFile(s.path(key))
-		if rerr != nil {
-			if os.IsNotExist(rerr) {
-				return nil // a clean miss is not a disk failure
+	if disk != nil {
+		disk.Guard = func(fn func() error) error {
+			if rs.brk == nil {
+				return fn()
 			}
-			return rerr
+			return rs.brk.Do(fn)
 		}
-		payload, rerr = s.decodeEntry(key, raw)
-		return rerr
-	})
-	if err != nil || payload == nil {
-		return nil, false
-	}
-	s.mu.Lock()
-	s.mem[key] = payload
-	s.mu.Unlock()
-	return payload, true
-}
-
-// decodeEntry validates one on-disk cache file. Framed entries must pass
-// their CRC; legacy unframed entries (written before framing existed) are
-// accepted when they are well-formed JSON. Anything else is quarantined.
-func (s *resultStore) decodeEntry(key string, raw []byte) ([]byte, error) {
-	if persist.IsFramed(raw) {
-		payload, err := persist.DecodeFrame(raw)
-		if err == nil {
-			return payload, nil
+		disk.OnQuarantine = func() {
+			if rs.onQuarantine != nil {
+				rs.onQuarantine()
+			}
 		}
-		s.quarantine(key)
-		// Corruption is the file's fault, not the disk's: don't feed it to
-		// the breaker as a disk failure.
-		return nil, nil
 	}
-	if json.Valid(raw) {
-		return raw, nil
-	}
-	s.quarantine(key)
-	return nil, nil
+	rs.disk = disk
+	rs.Replicated = store.NewReplicated(store.NewMemory(), disk)
+	return rs, nil
 }
 
-// quarantine sidelines a corrupt cache file as <name>.corrupt so it stops
-// matching lookups but stays available for post-mortems.
-func (s *resultStore) quarantine(key string) {
-	if _, err := persist.Quarantine(s.path(key)); err == nil && s.onQuarantine != nil {
-		s.onQuarantine()
-	}
-}
+// get reads the local tiers only — it runs under the server mutex on
+// the submit path, so it must never block on a peer. Remote copies are
+// reached later, via the hedged fetch at execution time.
+func (s *resultStore) get(key string) ([]byte, bool) { return s.GetLocal(key) }
 
-// put stores the result bytes. The memory tier always succeeds; disk
-// write failures are reported but do not invalidate the in-memory entry,
-// and an open breaker skips the disk entirely.
+// put writes the local tiers. The memory tier always succeeds; disk
+// failures are reported but do not invalidate the in-memory entry, and
+// an open breaker skips the disk entirely. Replication to peers happens
+// separately (Server.replicateResult), after the job flips terminal.
 func (s *resultStore) put(key string, data []byte) error {
-	s.mu.Lock()
-	s.mem[key] = data
-	s.mu.Unlock()
-	if s.dir == "" {
-		return nil
-	}
-	if !validKey(key) {
-		return fmt.Errorf("service: refusing to persist unsafe key %q", key)
-	}
-	err := s.throughBreaker(func() error {
-		return s.writeEntry(key, data)
-	})
+	err := s.PutLocal(key, data)
 	if errors.Is(err, ErrBreakerOpen) {
 		return fmt.Errorf("service: skipping disk persist for %s: %w", key, err)
 	}
@@ -142,54 +73,6 @@ func (s *resultStore) put(key string, data []byte) error {
 	return nil
 }
 
-// writeEntry persists one framed cache file atomically (temp + rename).
-// The write failpoint lives here, next to the I/O it faults, so the
-// whole temp/sync/rename seam is covered by one arming.
-func (s *resultStore) writeEntry(key string, data []byte) error {
-	if ferr := faultinject.Hit(fpCacheWrite); ferr != nil {
-		return ferr
-	}
-	framed := persist.EncodeFrame(data)
-	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
-	if err != nil {
-		return err
-	}
-	_, err = tmp.Write(framed)
-	if err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil && cerr != nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), s.path(key))
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
-	}
-	return err
-}
-
-// throughBreaker routes a disk operation through the store's breaker when
-// one is attached, and straight through otherwise.
-func (s *resultStore) throughBreaker(fn func() error) error {
-	if s.brk == nil {
-		return fn()
-	}
-	return s.brk.Do(fn)
-}
-
-func (s *resultStore) path(key string) string {
-	return filepath.Join(s.dir, key+".json")
-}
-
 // validKey accepts only the lowercase-hex request hashes this service
 // generates, so keys can never escape the data directory.
-func validKey(key string) bool {
-	if key == "" {
-		return false
-	}
-	return strings.IndexFunc(key, func(r rune) bool {
-		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
-	}) < 0
-}
+func validKey(key string) bool { return store.ValidKey(key) }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,8 @@ import (
 
 	"github.com/kit-ces/hayat"
 	"github.com/kit-ces/hayat/internal/cluster"
+	"github.com/kit-ces/hayat/internal/merkle"
+	"github.com/kit-ces/hayat/internal/store"
 )
 
 // LifetimeRequest is the body of POST /v1/lifetime. Config fields use the
@@ -65,8 +68,10 @@ type errorBody struct {
 //	GET    /v1/jobs/{id}/result canonical result bytes (what the proof covers)
 //	GET    /v1/jobs/{id}/proof  Merkle inclusion proof for the result
 //	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/store/{key}     replica read: local copy as a store envelope (HEAD: leaf hash only)
+//	PUT    /v1/store/{key}     replica write: store a peer's verified result copy
 //	GET    /healthz            liveness (pure: alive even while draining)
-//	GET    /readyz             readiness (503 until replay + workers + first peer sweep)
+//	GET    /readyz             readiness (503 until replay + workers + first peer sweep + store warm-up)
 //	GET    /metrics            counters and latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -77,6 +82,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleJobProof)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet) // also matches HEAD
+	mux.HandleFunc("PUT /v1/store/{key}", s.handleStorePut)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -285,6 +292,81 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// maxStorePutBody bounds a replica PUT body: an envelope wrapping
+// canonical result bytes (same ceiling the cluster client applies to
+// result fetches).
+const maxStorePutBody = 256 << 20
+
+// handleStoreGet answers GET/HEAD /v1/store/{key}: the peer replica-read
+// surface. It serves only the LOCAL tiers (a miss here must never
+// recurse into another hedged fetch) and only bytes that verify against
+// this node's Merkle audit — a divergent local copy is quarantined and
+// reported as a miss, never served. GET bodies are raw store envelopes
+// (self-verifying: magic, key, leaf hash, length), not the indented
+// JSON the human API uses; both verbs carry the leaf hash in a header
+// so HEAD doubles as the anti-entropy stat probe.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: not a result key"))
+		return
+	}
+	data, ok := s.store.GetLocal(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no local copy of %s", key))
+		return
+	}
+	if err := s.verifyStored(key, data); err != nil {
+		s.store.Quarantine(key)
+		s.met.StoreQuarantines.Add(1)
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: local copy of %s quarantined: %w", key, err))
+		return
+	}
+	leaf := merkle.LeafHash(data)
+	w.Header().Set(cluster.LeafHeader, hex.EncodeToString(leaf[:]))
+	s.met.StoreReplicaServes.Add(1)
+	if r.Method == http.MethodHead {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(store.EncodeEnvelope(key, data))
+}
+
+// handleStorePut answers PUT /v1/store/{key}: a peer replicating a
+// terminal result (or the anti-entropy sweep read-repairing us). The
+// envelope is self-verifying; bytes that contradict our own audit are
+// refused with 409 — two nodes disagreeing about a content-addressed
+// key is a determinism fork, and silently overwriting would hide it.
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxStorePutBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading envelope: %w", err))
+		return
+	}
+	envKey, payload, err := store.DecodeEnvelope(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if envKey != key || !validKey(key) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: envelope key %s does not match path", envKey))
+		return
+	}
+	if err := s.verifyStored(key, payload); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if err := s.store.put(key, payload); err != nil {
+		s.logf("service: %v", err)
+	}
+	// Replicas audit the copies they hold so they can serve inclusion
+	// proofs (and verify future reads) even if the owner never returns.
+	s.auditResult(key, payload)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -320,6 +402,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Merkle.SealedSegments = ast.SealedSegments
 	snap.Breakers = s.Breakers()
 	snap.Failpoints = s.Failpoints()
+	snap.Store.ReplicationDebt = s.store.Debt()
+	snap.Store.Warmed = s.store.Ready()
 	if s.router != nil {
 		snap.Cluster.Enabled = true
 		snap.Cluster.Self = s.router.Self()

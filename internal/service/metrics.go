@@ -230,6 +230,18 @@ type Metrics struct {
 	ChipsStolen          Counter // chips stolen back to local simulation
 	ForwardLatency       Histogram
 	RemoteFetch          Histogram
+
+	// Replicated result-store outcomes (see internal/store). The debt
+	// gauge is read live from the store, not counted here.
+	StoreHedgedWins       Counter   // hedged replica fetches that supplied the served bytes
+	StoreHedgedLosses     Counter   // launched hedged attempts that lost (failed, missed, cancelled)
+	StoreReadRepairs      Counter   // local tiers or peers repaired from a verifying copy
+	StoreQuarantines      Counter   // store entries quarantined (corrupt or divergent)
+	StoreReplicaPuts      Counter   // result copies pushed to peers
+	StoreReplicaPutErrors Counter   // replica pushes that failed (debt recorded)
+	StoreReplicaServes    Counter   // GET/HEAD /v1/store hits served to peers
+	StoreSweeps           Counter   // anti-entropy sweeps completed
+	StoreSweepDur         Histogram // sweep wall-clock
 }
 
 // ObserveStage is a sim.StageObserver: it accumulates per-epoch stage
@@ -329,6 +341,22 @@ type MetricsSnapshot struct {
 		// health state, probe counts and breaker snapshots).
 		Peers map[string]cluster.PeerSnapshot `json:"peers,omitempty"`
 	} `json:"cluster"`
+	Store struct {
+		HedgedWins     int64             `json:"hedged_wins"`
+		HedgedLosses   int64             `json:"hedged_losses"`
+		ReadRepairs    int64             `json:"read_repairs"`
+		Quarantines    int64             `json:"quarantines"`
+		ReplicaPuts    int64             `json:"replica_puts"`
+		ReplicaPutErrs int64             `json:"replica_put_errors"`
+		ReplicaServes  int64             `json:"replica_serves"`
+		Sweeps         int64             `json:"sweeps"`
+		SweepSeconds   HistogramSnapshot `json:"sweep_seconds"`
+		// ReplicationDebt and Warmed are filled in by the server from the
+		// live store: copies currently owed to peers, and whether the
+		// warm-up CRC scan has finished.
+		ReplicationDebt int  `json:"replication_debt"`
+		Warmed          bool `json:"warmed"`
+	} `json:"store"`
 	// Breakers and Failpoints are filled in by the server (they live
 	// outside Metrics); empty maps are elided.
 	Breakers   map[string]BreakerSnapshot `json:"breakers,omitempty"`
@@ -395,6 +423,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.Cluster.ChipsStolen = m.ChipsStolen.Value()
 	s.Cluster.ForwardSeconds = m.ForwardLatency.Snapshot()
 	s.Cluster.FetchSeconds = m.RemoteFetch.Snapshot()
+	s.Store.HedgedWins = m.StoreHedgedWins.Value()
+	s.Store.HedgedLosses = m.StoreHedgedLosses.Value()
+	s.Store.ReadRepairs = m.StoreReadRepairs.Value()
+	s.Store.Quarantines = m.StoreQuarantines.Value()
+	s.Store.ReplicaPuts = m.StoreReplicaPuts.Value()
+	s.Store.ReplicaPutErrs = m.StoreReplicaPutErrors.Value()
+	s.Store.ReplicaServes = m.StoreReplicaServes.Value()
+	s.Store.Sweeps = m.StoreSweeps.Value()
+	s.Store.SweepSeconds = m.StoreSweepDur.Snapshot()
 	s.SimRuns = m.SimRuns.Value()
 	s.StageSeconds = map[string]HistogramSnapshot{
 		"queue_wait": m.QueueWait.Snapshot(),

@@ -28,6 +28,7 @@ import (
 	"github.com/kit-ces/hayat/internal/faultinject"
 	"github.com/kit-ces/hayat/internal/merkle"
 	"github.com/kit-ces/hayat/internal/persist"
+	"github.com/kit-ces/hayat/internal/store"
 )
 
 // Failpoint names on the job-execution hot seams.
@@ -273,6 +274,14 @@ type Options struct {
 	// chips fan out, and peer health drives ring membership. See
 	// ClusterOptions.
 	Cluster ClusterOptions
+	// Replicas is how many ring successors beyond the owner hold a copy
+	// of every terminal result (default 2). Negative disables replication
+	// (owner-only, like a single node). Ignored without cluster mode.
+	Replicas int
+	// AntiEntropyInterval is the cadence of the background store sweep
+	// that detects under-replication and divergence and repairs both
+	// (default store.DefaultAntiEntropyInterval).
+	AntiEntropyInterval time.Duration
 	// Artifacts optionally shares platform artifacts (Cholesky factors,
 	// thermal LU, predictors, aging tables) with other components; by
 	// default the server creates its own cache.
@@ -392,7 +401,10 @@ func New(opts Options) (*Server, error) {
 		systems:  make(map[string]*sysEntry),
 	}
 	store.brk = s.cacheBrk
-	store.onQuarantine = func() { s.met.Quarantined.Add(1) }
+	store.onQuarantine = func() {
+		s.met.Quarantined.Add(1)
+		s.met.StoreQuarantines.Add(1)
+	}
 	s.met.JournalCorrupt.Add(int64(corrupt))
 	if corrupt > 0 {
 		s.logf("service: journal replay skipped %d corrupt line(s)", corrupt)
@@ -409,6 +421,7 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.router = router
+	s.wireStore()
 	s.recover(pending)
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
@@ -418,8 +431,71 @@ func New(opts Options) (*Server, error) {
 		s.router.Start(ctx)
 		s.logf("service: cluster mode: self=%s peers=%v", s.router.Self(), s.router.Peers())
 	}
+	s.store.Start(ctx, opts.AntiEntropyInterval)
 	s.ready.Store(true)
 	return s, nil
+}
+
+// wireStore attaches the result store to this server: the Merkle audit
+// becomes the verify-on-read authority, store events feed /metrics, and
+// — in cluster mode — the ring supplies replica sets and the router
+// carries envelopes between peers.
+func (s *Server) wireStore() {
+	o := store.Options{
+		Verify: s.verifyStored,
+		Obs: store.Obs{
+			HedgedWin:     func() { s.met.StoreHedgedWins.Add(1) },
+			HedgedLoss:    func() { s.met.StoreHedgedLosses.Add(1) },
+			ReadRepair:    func() { s.met.StoreReadRepairs.Add(1) },
+			ReplicaPut:    func() { s.met.StoreReplicaPuts.Add(1) },
+			ReplicaPutErr: func() { s.met.StoreReplicaPutErrors.Add(1) },
+			Sweep: func(d time.Duration) {
+				s.met.StoreSweeps.Add(1)
+				s.met.StoreSweepDur.Observe(d)
+			},
+		},
+		Logf: s.logf,
+	}
+	if s.router != nil && s.opts.Replicas >= 0 {
+		replicas := s.opts.Replicas
+		if replicas == 0 {
+			replicas = DefaultReplicas
+		}
+		o.Self = s.router.Self()
+		o.Copies = replicas + 1
+		o.ReplicaSet = s.router.ReplicaSet
+		o.Transport = s.router
+	}
+	s.store.Configure(o)
+}
+
+// DefaultReplicas is how many copies beyond the owner each terminal
+// result gets when Options.Replicas is zero.
+const DefaultReplicas = 2
+
+// verifyStored checks stored bytes against the Merkle audit: a key the
+// audit knows must hash to its recorded leaf. Unknown keys pass — the
+// audit may trail the cache (memory-only audit after a restart).
+func (s *Server) verifyStored(key string, data []byte) error {
+	leaf, ok := s.audit.Leaf(key)
+	if !ok {
+		return nil
+	}
+	if merkle.LeafHash(data) != leaf {
+		return fmt.Errorf("service: stored bytes for %s diverge from audit leaf", key)
+	}
+	return nil
+}
+
+// replicateResult fans a terminal result out to its replica set. Runs
+// synchronously on the worker goroutine after the job flips terminal:
+// clients already have their answer; a slow or down peer only delays
+// this worker, and an unreachable one becomes replication debt.
+func (s *Server) replicateResult(key string, data []byte) {
+	if s.router == nil {
+		return
+	}
+	s.store.Replicate(s.baseCtx, key, data)
 }
 
 // recover re-enqueues the jobs the previous process left pending, keeping
@@ -871,6 +947,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(done)
 	}()
 	finish := func() {
+		s.store.Close()
 		if s.router != nil {
 			s.router.Close()
 		}
@@ -1059,8 +1136,10 @@ func (s *Server) runJob(j *Job) {
 	s.met.JobsRunning.Add(-1)
 	if err == nil {
 		// The result is durable (cache) — the intermediate recovery
-		// artifacts have served their purpose.
+		// artifacts have served their purpose. Replicas get their copies
+		// now, after clients can already read the answer.
 		s.cleanupArtifacts(j.key)
+		s.replicateResult(j.key, data)
 	} else {
 		s.logf("service: %s %s: %v", j.req.Kind, j.id, err)
 	}
@@ -1083,6 +1162,16 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 		// The owner (and its one re-route) is gone: run the job here.
 		s.met.ForwardFallbackLocal.Add(1)
 		s.logf("service: %s executing locally after remote failure", j.id)
+	}
+	// Before recomputing, try the key's replicas: if any holds a
+	// Merkle-verifying copy of this exact result, a hedged fetch is far
+	// cheaper than a simulation. Population results are skipped — their
+	// payloads lack the per-seed shape remoteResultValid can vet.
+	if j.req.Kind != KindPopulation {
+		if data, ok := s.store.FetchReplica(ctx, j.key); ok && s.remoteResultValid(j, data) {
+			s.logf("service: %s served from replica copy of %s", j.id, j.key[:12])
+			return data, nil
+		}
 	}
 	pol, err := hayat.ParsePolicy(j.req.Policy)
 	if err != nil {

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/kit-ces/hayat/internal/merkle"
+)
+
+// The replication wire format: every result crossing a node boundary is
+// wrapped in a self-verifying envelope so a truncated, bit-flipped, or
+// mis-keyed copy is rejected at decode time, before it can reach any
+// store tier.
+//
+//	hayatsv1 {"key":"<hex>","leaf":"<hex leaf hash>","n":<len>}\n<payload>
+//
+// The leaf field is the RFC 6962 leaf hash (internal/merkle) of the
+// payload; decoding recomputes it, so a verified envelope IS a verified
+// Merkle leaf — the same hash the audit log proves inclusion for.
+
+// EnvelopeMagic tags replication envelopes, versioned like the persist
+// frame magic.
+const EnvelopeMagic = "hayatsv1"
+
+// ErrBadEnvelope is wrapped by every envelope decode failure.
+var ErrBadEnvelope = errors.New("store: bad envelope")
+
+// envelopeHeader is the JSON header line of an envelope.
+type envelopeHeader struct {
+	Key  string `json:"key"`
+	Leaf string `json:"leaf"`
+	N    int    `json:"n"`
+}
+
+// EncodeEnvelope wraps key's canonical bytes for the wire.
+func EncodeEnvelope(key string, payload []byte) []byte {
+	leaf := merkle.LeafHash(payload)
+	header, _ := json.Marshal(envelopeHeader{
+		Key:  key,
+		Leaf: hex.EncodeToString(leaf[:]),
+		N:    len(payload),
+	})
+	out := make([]byte, 0, len(EnvelopeMagic)+1+len(header)+1+len(payload))
+	out = append(out, EnvelopeMagic...)
+	out = append(out, ' ')
+	out = append(out, header...)
+	out = append(out, '\n')
+	return append(out, payload...)
+}
+
+// DecodeEnvelope validates an envelope and returns its key and payload.
+// It rejects bad magic, malformed headers, invalid keys, length
+// mismatches (truncation), and payloads whose recomputed Merkle leaf
+// hash differs from the header's — so returned bytes are exactly what
+// the sender hashed.
+func DecodeEnvelope(b []byte) (key string, payload []byte, err error) {
+	rest, ok := bytes.CutPrefix(b, []byte(EnvelopeMagic+" "))
+	if !ok {
+		return "", nil, fmt.Errorf("%w: bad magic", ErrBadEnvelope)
+	}
+	header, payload, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok {
+		return "", nil, fmt.Errorf("%w: missing header line", ErrBadEnvelope)
+	}
+	var h envelopeHeader
+	if uerr := json.Unmarshal(header, &h); uerr != nil {
+		return "", nil, fmt.Errorf("%w: header: %w", ErrBadEnvelope, uerr)
+	}
+	if !ValidKey(h.Key) {
+		return "", nil, fmt.Errorf("%w: invalid key", ErrBadEnvelope)
+	}
+	if h.N != len(payload) {
+		return "", nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrBadEnvelope, len(payload), h.N)
+	}
+	want, herr := merkle.ParseHash(h.Leaf)
+	if herr != nil {
+		return "", nil, fmt.Errorf("%w: leaf: %w", ErrBadEnvelope, herr)
+	}
+	if got := merkle.LeafHash(payload); got != want {
+		return "", nil, fmt.Errorf("%w: leaf hash mismatch", ErrBadEnvelope)
+	}
+	return h.Key, payload, nil
+}

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeStoreEnvelope hammers the replication wire format: decoding
+// must never panic, anything that decodes must satisfy the envelope's
+// own invariants (valid key, recomputable leaf hash — via EncodeEnvelope
+// round-trip), and a decoded envelope must re-encode byte-identically.
+func FuzzDecodeStoreEnvelope(f *testing.F) {
+	key := "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12"
+	payload := []byte(`{"mttf_years":7.25,"policy":"hayat"}`)
+	valid := EncodeEnvelope(key, payload)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // truncated payload
+	f.Add(valid[:9])            // magic only
+	f.Add([]byte("hayatsv1 {}\n"))
+	f.Add([]byte("hayatsv1 {\"key\":\"zz\",\"leaf\":\"00\",\"n\":0}\n"))
+	f.Add([]byte("not an envelope at all"))
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)-1] ^= 0x01 // leaf hash mismatch
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		key, payload, err := DecodeEnvelope(b)
+		if err != nil {
+			return
+		}
+		if !ValidKey(key) {
+			t.Fatalf("decoded invalid key %q", key)
+		}
+		again := EncodeEnvelope(key, payload)
+		k2, p2, err2 := DecodeEnvelope(again)
+		if err2 != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err2)
+		}
+		if k2 != key || !bytes.Equal(p2, payload) {
+			t.Fatal("round trip changed the envelope contents")
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Memory is the in-process tier: a mutex-guarded map of canonical result
+// bytes. It never fails and never verifies — upper tiers only populate
+// it with bytes that already passed CRC or Merkle checks.
+type Memory struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemory returns an empty in-memory tier.
+func NewMemory() *Memory {
+	return &Memory{m: make(map[string][]byte)}
+}
+
+// Get implements Store.
+func (s *Memory) Get(ctx context.Context, key string) ([]byte, bool) {
+	return s.get(key)
+}
+
+// Put implements Store.
+func (s *Memory) Put(ctx context.Context, key string, data []byte) error {
+	s.put(key, data)
+	return nil
+}
+
+// Keys implements Store, sorted for deterministic sweeps.
+func (s *Memory) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *Memory) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	return data, ok
+}
+
+func (s *Memory) put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = data
+}
+
+func (s *Memory) drop(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}

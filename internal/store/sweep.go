@@ -1,0 +1,138 @@
+package store
+
+import (
+	"context"
+	"encoding/hex"
+	"time"
+
+	"github.com/kit-ces/hayat/internal/faultinject"
+	"github.com/kit-ces/hayat/internal/merkle"
+)
+
+// DefaultAntiEntropyInterval is the background sweep cadence.
+const DefaultAntiEntropyInterval = 30 * time.Second
+
+// Start launches warm-up (CRC-validate every local segment) and the
+// periodic anti-entropy sweep on a background goroutine scoped to ctx.
+// Idempotent; Close (or ctx cancellation) stops it.
+func (r *Replicated) Start(ctx context.Context, interval time.Duration) {
+	r.startOnce.Do(func() {
+		if interval <= 0 {
+			interval = DefaultAntiEntropyInterval
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		r.cancel = cancel
+		r.done = make(chan struct{})
+		go func() {
+			defer close(r.done)
+			r.warmup()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-sctx.Done():
+					return
+				case <-ticker.C:
+				}
+				r.Sweep(sctx)
+			}
+		}()
+	})
+}
+
+// Ready reports whether the store can safely serve: the durable tier
+// has been CRC-validated (corrupt entries quarantined) and the sweep is
+// scheduled. A store with no durable tier is ready immediately.
+func (r *Replicated) Ready() bool {
+	return r.disk == nil || r.warmed.Load()
+}
+
+// Close stops the sweep goroutine and waits for it. Safe on a store
+// that was never started.
+func (r *Replicated) Close() {
+	if r.cancel != nil {
+		r.cancel()
+		<-r.done
+	}
+}
+
+// warmup is the /readyz gate: every local entry is CRC-checked before
+// the node advertises itself, so a disk corrupted while the process was
+// down yields quarantines at startup, never a served bad byte (and
+// never a panic).
+func (r *Replicated) warmup() {
+	checked, quarantined, err := r.disk.ValidateAll()
+	switch {
+	case err != nil:
+		r.logf("store: warm-up scan skipped: %v", err)
+	case quarantined > 0:
+		r.logf("store: warm-up quarantined %d of %d entries", quarantined, checked)
+	}
+	r.warmed.Store(true)
+}
+
+// Sweep is one anti-entropy pass: walk every locally held key, confirm
+// each other member of its replica set holds a byte-identical copy
+// (compared by Merkle leaf hash), push our verifying copy where one is
+// missing or divergent, and record debt against peers that are down.
+// Locally divergent copies (audit disagrees) are quarantined and
+// re-fetched from a replica rather than propagated.
+func (r *Replicated) Sweep(ctx context.Context) {
+	if err := faultinject.Hit(FPAntiEntropy); err != nil {
+		r.logf("store: sweep skipped: %v", err)
+		return
+	}
+	if r.o.Transport == nil || r.o.ReplicaSet == nil {
+		return
+	}
+	start := time.Now()
+	defer func() {
+		if f := r.o.Obs.Sweep; f != nil {
+			f(time.Since(start))
+		}
+	}()
+	for _, key := range r.Keys() {
+		if ctx.Err() != nil {
+			return
+		}
+		data, ok := r.GetLocal(key)
+		if !ok {
+			continue
+		}
+		if r.o.Verify != nil && r.o.Verify(key, data) != nil {
+			// Our copy is the divergent one: quarantine it and repair
+			// ourselves from any verifying replica.
+			r.Quarantine(key)
+			r.FetchReplica(ctx, key)
+			continue
+		}
+		leaf := merkle.LeafHash(data)
+		localLeaf := hex.EncodeToString(leaf[:])
+		for _, peer := range r.otherReplicas(key) {
+			if ctx.Err() != nil {
+				return
+			}
+			if !r.o.Transport.PeerUp(peer) {
+				r.addDebt(key, peer) // under-replicated until the peer returns
+				continue
+			}
+			peerLeaf, found, err := r.statPeer(ctx, peer, key)
+			if err != nil {
+				continue // transient; next sweep retries
+			}
+			if found && peerLeaf == localLeaf {
+				r.clearDebt(key, peer)
+				continue
+			}
+			// Missing or divergent on the peer: push our verifying copy.
+			if err := r.pushCopy(ctx, peer, key, data); err != nil {
+				r.addDebt(key, peer)
+				fire(r.o.Obs.ReplicaPutErr)
+				r.logf("store: sweep repair %s to %s: %v", short(key), peer, err)
+				continue
+			}
+			r.clearDebt(key, peer)
+			fire(r.o.Obs.ReadRepair)
+		}
+	}
+}
