@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz-smoke fmt bench bench-submit drill-cluster drill-replication
+.PHONY: build test race lint lint-fixtures lint-selftest fuzz-smoke fmt bench bench-submit drill-cluster drill-replication
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,28 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Golden-fixture suite only: -short skips the whole-module real-tree
+# lint, so a rule edit round-trips in seconds.
+lint-fixtures:
+	$(GO) test -short ./internal/lint
+
+# Negative self-test: inject a reachable time.Now() into internal/sim
+# and require hayatlint to reject the tree with a determinism finding.
+# A passing lint run here means the taint analysis is dead — fail loudly.
+SELFTEST_FILE := internal/sim/zz_lint_selftest_injected.go
+lint-selftest:
+	@cp internal/lint/testdata/selftest/injected.go.txt $(SELFTEST_FILE); \
+	trap 'rm -f $(SELFTEST_FILE)' EXIT; \
+	out="$$($(GO) run ./cmd/hayatlint ./... 2>&1)"; status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		echo "lint-selftest: FAIL — hayatlint accepted an injected time.Now() in internal/sim"; exit 1; \
+	fi; \
+	if ! echo "$$out" | grep -q '\[determinism\].*time\.Now'; then \
+		echo "lint-selftest: FAIL — hayatlint failed without a determinism/time.Now finding:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "lint-selftest: OK — injected time.Now() rejected:"; \
+	echo "$$out" | grep '\[determinism\]'
 
 # Short fuzz pass over every native fuzz target; FUZZTIME=20s matches CI.
 FUZZTIME ?= 20s
@@ -69,11 +91,13 @@ drill-replication:
 
 # Epoch hot-path benchmarks → committed JSON baseline. BENCHTIME=1x gives
 # a fast smoke run (CI); raise it (e.g. 2s) for a stable local baseline.
+# BENCH_OUT restarts the committed trajectory at the current PR.
 BENCHTIME ?= 2s
+BENCH_OUT ?= BENCH_PR9.json
 bench:
 	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkSingleChipEpoch' \
-		-benchmem -benchtime $(BENCHTIME) | $(GO) run ./cmd/benchjson > BENCH_PR5.json
-	@cat BENCH_PR5.json
+		-benchmem -benchtime $(BENCHTIME) | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	@cat $(BENCH_OUT)
 
 # Batch-vs-single submit throughput → committed JSON baseline. A fixed
 # iteration count (not wall time) bounds how many jobs pile into the

@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/hayatlint ./...             # whole module
+//	go run ./cmd/hayatlint ./...                      # whole module
 //	go run ./cmd/hayatlint ./internal/service
-//	go run ./cmd/hayatlint -rule errwrap ./...
+//	go run ./cmd/hayatlint -rules errwrap,determinism ./...
+//	go run ./cmd/hayatlint -json ./...                # machine-readable
+//
+// The module-wide rules (determinism, key-completeness) always analyze
+// the full module — a directory argument narrows which diagnostics are
+// printed, not what the call graph sees.
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 // Suppress a single finding with `//lint:ignore <rule> <reason>` on the
@@ -26,9 +31,11 @@ import (
 
 func main() {
 	ruleFilter := flag.String("rule", "", "run only the named rule")
-	listRules := flag.Bool("rules", false, "list rules and exit")
+	rulesFilter := flag.String("rules", "", "run only the named rules (comma-separated)")
+	listRules := flag.Bool("list", false, "list rules and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hayatlint [-rule name] [./... | dir ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: hayatlint [-rules a,b | -rule name] [-json] [./... | dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,16 +47,28 @@ func main() {
 		}
 		return
 	}
+	var names []string
 	if *ruleFilter != "" {
-		var kept []lint.Rule
-		for _, r := range rules {
-			if r.Name == *ruleFilter {
-				kept = append(kept, r)
-			}
+		names = append(names, *ruleFilter)
+	}
+	for _, n := range strings.Split(*rulesFilter, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
 		}
-		if len(kept) == 0 {
-			fmt.Fprintf(os.Stderr, "hayatlint: unknown rule %q\n", *ruleFilter)
-			os.Exit(2)
+	}
+	if len(names) > 0 {
+		byName := make(map[string]lint.Rule)
+		for _, r := range rules {
+			byName[r.Name] = r
+		}
+		var kept []lint.Rule
+		for _, n := range names {
+			r, ok := byName[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hayatlint: unknown rule %q\n", n)
+				os.Exit(2)
+			}
+			kept = append(kept, r)
 		}
 		rules = kept
 	}
@@ -67,8 +86,12 @@ func main() {
 		fatal(err)
 	}
 
-	// Filter to the requested targets. "./..." (or no argument) keeps
-	// everything; a directory argument keeps the packages under it.
+	diags := lint.Run(pkgs, rules)
+
+	// Narrow to the requested targets AFTER analysis: module-wide rules
+	// need the whole call graph regardless of what the user asked to
+	// see. "./..." (or no argument) keeps everything; a directory
+	// argument keeps the diagnostics positioned under it.
 	if targets := flag.Args(); len(targets) > 0 && !all(targets) {
 		var dirs []string
 		for _, t := range targets {
@@ -79,25 +102,33 @@ func main() {
 			}
 			dirs = append(dirs, abs)
 		}
-		var kept []*lint.Package
-		for _, p := range pkgs {
-			for _, d := range dirs {
-				if p.Dir == d || strings.HasPrefix(p.Dir, d+string(filepath.Separator)) {
-					kept = append(kept, p)
+		var kept []lint.Diagnostic
+		for _, d := range diags {
+			dir := filepath.Dir(d.Pos.Filename)
+			for _, want := range dirs {
+				if dir == want || strings.HasPrefix(dir, want+string(filepath.Separator)) {
+					kept = append(kept, d)
 					break
 				}
 			}
 		}
-		pkgs = kept
+		diags = kept
 	}
 
-	diags := lint.Run(pkgs, rules)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Rule, d.Msg)
+		return name
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags, rel); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Rule, d.Msg)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hayatlint: %d violation(s)\n", len(diags))

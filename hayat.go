@@ -127,6 +127,7 @@ type Config struct {
 	// for every value — so it is excluded from serialisation and from
 	// result-cache keys (and cannot be set through the hayatd API; see
 	// the server's -sim-workers flag).
+	//lint:ignore key-completeness execution property: results are bit-identical for every worker count (determinism suite), so the key must not split on it
 	Workers int `json:"-"`
 }
 

@@ -169,8 +169,10 @@ func (m *Manager) Step(temps, fmax []float64, asg *mapping.Assignment) []Action 
 	}
 
 	// Recovery first: cores that have cooled sufficiently lose their
-	// throttle mark.
-	for i := range m.throttled {
+	// throttle mark. Iterate by core index, not over the throttled map:
+	// the Unthrottle actions are appended to the returned (ordered)
+	// action list, so their order must not depend on map iteration.
+	for i := 0; i < n; i++ {
 		if !m.throttled[i] {
 			continue
 		}

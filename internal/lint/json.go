@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// diagJSON is the machine-readable wire form of one Diagnostic, stable
+// for CI tooling (the GitHub Actions problem matcher consumes the text
+// form; -json is for scripts and editors).
+type diagJSON struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (never null:
+// zero diagnostics encode as []). The relFile hook lets callers shorten
+// absolute paths; nil keeps them as-is.
+func WriteJSON(w io.Writer, diags []Diagnostic, relFile func(string) string) error {
+	out := make([]diagJSON, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if relFile != nil {
+			file = relFile(file)
+		}
+		out = append(out, diagJSON{
+			File:    file,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -15,6 +15,12 @@
 //	errwrap            wrap errors with %w, compare with errors.Is
 //	checked-solve      only internal/numeric may call raw Solve/SteadyState
 //	mutex-discipline   no return between Lock and a non-deferred Unlock
+//	determinism        no wall clock, global rand, map-order leak, racy
+//	                   select or host-environment read on any path
+//	                   reachable from a result-producing entry point
+//	                   (module-wide taint over the call graph)
+//	key-completeness   exported Config fields excluded from the canonical
+//	                   cache key (json:"-") must be allow-listed
 //
 // The analyzer is stdlib-only (go/ast, go/parser, go/types, go/importer):
 // module packages are parsed and type-checked from source, imports
@@ -49,11 +55,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Msg)
 }
 
-// Rule is one named invariant check run over a type-checked package.
+// Rule is one named invariant check. Intra-procedural rules set Check
+// and run once per package; module-wide rules (interprocedural analyses
+// that need the whole call graph) set CheckModule and run once over the
+// full package set. A rule sets exactly one of the two.
 type Rule struct {
-	Name  string
-	Doc   string
-	Check func(p *Package, r *Reporter)
+	Name        string
+	Doc         string
+	Check       func(p *Package, r *Reporter)
+	CheckModule func(pkgs []*Package, r *Reporter)
 }
 
 // Rules returns the full rule set in stable order.
@@ -65,6 +75,8 @@ func Rules() []Rule {
 		{Name: "errwrap", Doc: "wrap embedded errors with %w and compare sentinels with errors.Is", Check: checkErrWrap},
 		{Name: "checked-solve", Doc: "raw Solve/SteadyState are reserved for internal/numeric; callers use the *Checked variants", Check: checkCheckedSolve},
 		{Name: "mutex-discipline", Doc: "no return between Lock and its Unlock unless the unlock is deferred", Check: checkMutexDiscipline},
+		{Name: "determinism", Doc: "no nondeterminism source (wall clock, global rand, map-order leak, racy select, host env) reachable from a result-producing entry point", CheckModule: checkDeterminism},
+		{Name: "key-completeness", Doc: "exported Config fields excluded from the canonical cache key (json:\"-\") must carry a justified allow-list suppression", CheckModule: checkKeyCompleteness},
 	}
 }
 
@@ -77,9 +89,10 @@ func RuleNames() map[string]bool {
 	return names
 }
 
-// Reporter accumulates diagnostics for one package.
+// Reporter accumulates diagnostics; positions resolve through the
+// FileSet shared by every package of one Load.
 type Reporter struct {
-	pkg   *Package
+	fset  *token.FileSet
 	rule  string
 	diags []Diagnostic
 }
@@ -87,39 +100,60 @@ type Reporter struct {
 // Reportf records a diagnostic for the active rule at pos.
 func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
 	r.diags = append(r.diags, Diagnostic{
-		Pos:  r.pkg.Fset.Position(pos),
+		Pos:  r.fset.Position(pos),
 		Rule: r.rule,
 		Msg:  fmt.Sprintf(format, args...),
 	})
 }
 
-// Run executes the given rules over the packages, applies //lint:ignore
-// suppressions, validates the suppression comments themselves, and
-// returns the surviving diagnostics in file/line order.
+// Run executes the given rules over the packages — per-package rules on
+// each package, module rules once over the whole set — applies
+// //lint:ignore suppressions, validates the suppression comments
+// themselves, and returns the surviving diagnostics in file/line order.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
-	known := make(map[string]bool)
-	for _, rule := range rules {
-		known[rule.Name] = true
+	if len(pkgs) == 0 {
+		return nil
 	}
 	// Suppressions name any registered rule, including ones filtered out
 	// of this run, without tripping the unknown-rule check.
 	allKnown := RuleNames()
 
+	// Suppressions are collected module-wide up front: a module rule may
+	// report a diagnostic in any package, and the matching suppression
+	// lives in that package's file. Keys carry absolute filenames, so
+	// one set is safe.
+	sup := make(suppressionSet)
 	var out []Diagnostic
 	for _, p := range pkgs {
-		sup, supDiags := collectSuppressions(p, allKnown)
-		rep := &Reporter{pkg: p}
+		s, supDiags := collectSuppressions(p, allKnown)
+		for k := range s {
+			sup[k] = true
+		}
+		out = append(out, supDiags...)
+	}
+
+	rep := &Reporter{fset: pkgs[0].Fset}
+	for _, p := range pkgs {
 		for _, rule := range rules {
+			if rule.Check == nil {
+				continue
+			}
 			rep.rule = rule.Name
 			rule.Check(p, rep)
 		}
-		for _, d := range rep.diags {
-			if sup.matches(d) {
-				continue
-			}
-			out = append(out, d)
+	}
+	for _, rule := range rules {
+		if rule.CheckModule == nil {
+			continue
 		}
-		out = append(out, supDiags...)
+		rep.rule = rule.Name
+		rule.CheckModule(pkgs, rep)
+	}
+	for _, d := range rep.diags {
+		if sup.matches(d) {
+			continue
+		}
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

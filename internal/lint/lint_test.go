@@ -183,17 +183,20 @@ func TestSuppressionAndUnknownRule(t *testing.T) {
 	}
 }
 
-// TestRuleNamesAndDocs keeps the registry consistent: six uniquely named
-// rules, all documented.
+// TestRuleNamesAndDocs keeps the registry consistent: eight uniquely
+// named rules, all documented, each with exactly one check kind.
 func TestRuleNamesAndDocs(t *testing.T) {
 	rules := Rules()
-	if len(rules) != 6 {
-		t.Fatalf("got %d rules, want 6", len(rules))
+	if len(rules) != 8 {
+		t.Fatalf("got %d rules, want 8", len(rules))
 	}
 	seen := map[string]bool{}
 	for _, r := range rules {
-		if r.Name == "" || r.Doc == "" || r.Check == nil {
+		if r.Name == "" || r.Doc == "" {
 			t.Errorf("rule %+v is incomplete", r.Name)
+		}
+		if (r.Check == nil) == (r.CheckModule == nil) {
+			t.Errorf("rule %q must set exactly one of Check/CheckModule", r.Name)
 		}
 		if seen[r.Name] {
 			t.Errorf("duplicate rule name %q", r.Name)

@@ -1,0 +1,25 @@
+// Package core is the determinism fixture for policy-step entry points:
+// inside an internal/core import path every exported function is a taint
+// root, while unexported helpers are roots only when a step reaches
+// them.
+package core
+
+import "math/rand"
+
+// Map is a policy step whose tie-break draw leaks the global source
+// through an unexported helper.
+func Map(n int) int { return tieBreak(n) }
+
+func tieBreak(n int) int {
+	return rand.Intn(n) // want `math/rand.Intn draws from the process-global source.*result path from.*Map`
+}
+
+// orphanDraw is the negative twin: unexported, never called by a policy
+// step, so not on any result path.
+func orphanDraw(n int) int { return rand.Intn(n) }
+
+// Place is a clean policy step: a seeded generator threads through.
+func Place(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

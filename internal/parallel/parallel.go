@@ -41,6 +41,7 @@ type Pool struct {
 // workers == 0 selects GOMAXPROCS; workers == 1 (or negative) is serial.
 func New(workers int) *Pool {
 	if workers == 0 {
+		//lint:ignore determinism worker count sets the schedule, not the answer: chunk boundaries are fixed and folds are ordered, so results are bit-identical for every value (asserted by the sim determinism suite)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers < 1 {

@@ -109,6 +109,7 @@ type Config struct {
 	// simulation parameter — results are bit-identical for every value
 	// (see internal/parallel) — so it is excluded from serialisation and
 	// from every cache/identity key.
+	//lint:ignore key-completeness execution property: results are bit-identical for every worker count (determinism suite), so the key must not split on it
 	Workers int `json:"-"`
 }
 

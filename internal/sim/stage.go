@@ -50,12 +50,14 @@ func (e *Engine) stageStart() time.Time {
 	if e.observe == nil {
 		return time.Time{}
 	}
+	//lint:ignore determinism wall time flows only to the metrics observer, never into Result/checkpoint state
 	return time.Now()
 }
 
 // stageEnd reports the elapsed stage time to the observer, if any.
 func (e *Engine) stageEnd(s Stage, t0 time.Time) {
 	if e.observe != nil {
+		//lint:ignore determinism wall time flows only to the metrics observer, never into Result/checkpoint state
 		e.observe(s, time.Since(t0))
 	}
 }

@@ -109,6 +109,7 @@ func (s *System) RunPopulationResumable(ctx context.Context, baseSeed int64, chi
 		})
 	}
 
+	//lint:ignore determinism worker count only changes which goroutine simulates a chip; every chip is seeded by index and results land in slot order
 	workers := runtime.GOMAXPROCS(0)
 	if workers > chips {
 		workers = chips
@@ -151,6 +152,7 @@ func (s *System) RunPopulationResumable(ctx context.Context, baseSeed int64, chi
 	}
 feed:
 	for i := 0; i < chips; i++ {
+		//lint:ignore determinism the race only decides whether a chip still starts before an abort; a successful run always feeds every chip, and an aborted run returns an error, never bytes
 		select {
 		case jobs <- i:
 		case <-runCtx.Done():
