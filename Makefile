@@ -91,12 +91,22 @@ drill-replication:
 
 # Epoch hot-path benchmarks → committed JSON baseline. BENCHTIME=1x gives
 # a fast smoke run (CI); raise it (e.g. 2s) for a stable local baseline.
-# BENCH_OUT restarts the committed trajectory at the current PR.
+# BENCH_OUT restarts the committed trajectory at the current PR;
+# BENCH_BASELINE feeds the previous PR's document to benchjson so the new
+# file carries speedups_vs_baseline. BENCH_GOMAXPROCS≥2 is forced so the
+# workers=N sub-benchmarks measure real parallel dispatch even on
+# single-core CI runners (determinism is worker-count independent; only
+# the wall clock moves).
 BENCHTIME ?= 2s
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
+BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_GOMAXPROCS ?= 2
 bench:
-	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkSingleChipEpoch' \
-		-benchmem -benchtime $(BENCHTIME) | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	{ GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test ./internal/sim -run '^$$' \
+		-bench 'BenchmarkSingleChipEpoch' -benchmem -benchtime $(BENCHTIME); \
+	  GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test ./internal/thermal -run '^$$' \
+		-bench 'BenchmarkGridSteadyState' -benchmem -benchtime $(BENCHTIME); } \
+		| GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) > $(BENCH_OUT)
 	@cat $(BENCH_OUT)
 
 # Batch-vs-single submit throughput → committed JSON baseline. A fixed

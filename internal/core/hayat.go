@@ -163,6 +163,88 @@ type candidate struct {
 	tMaxNext float64
 }
 
+// demandSorter orders threads most-demanding first. It is a pre-allocated
+// sort.Interface (kept in placeScratch) so the per-epoch sort allocates
+// no closure; sort.Stable produces the same stable permutation
+// sort.SliceStable did, so decisions are unchanged.
+type demandSorter struct{ ts []*workload.Thread }
+
+func (s *demandSorter) Len() int           { return len(s.ts) }
+func (s *demandSorter) Swap(i, j int)      { s.ts[i], s.ts[j] = s.ts[j], s.ts[i] }
+func (s *demandSorter) Less(i, j int) bool { return s.ts[i].MinFreq() > s.ts[j].MinFreq() }
+
+// candSorter orders candidates by weight, tie-broken by chip-average next
+// health, then by peak temperature — S.sort-by(weight) of Algorithm 1.
+type candSorter struct{ cs []candidate }
+
+func (s *candSorter) Len() int      { return len(s.cs) }
+func (s *candSorter) Swap(i, j int) { s.cs[i], s.cs[j] = s.cs[j], s.cs[i] }
+func (s *candSorter) Less(a, b int) bool {
+	ca, cb := s.cs[a], s.cs[b]
+	if ca.weight != cb.weight {
+		return ca.weight > cb.weight
+	}
+	if ca.hAvgNext != cb.hAvgNext {
+		return ca.hAvgNext > cb.hAvgNext
+	}
+	return ca.tMaxNext < cb.tMaxNext
+}
+
+// placeScratch is place's reusable working set, carried across epochs in
+// policy.Context.Scratch so the steady-state mapping decision allocates
+// nothing. It is keyed by (core count, worker count); any mismatch —
+// first call, resized chip, changed Workers — rebuilds it. Scratch never
+// influences a decision: every buffer is fully reinitialised per call.
+type placeScratch struct {
+	n, workers int
+	pool       *parallel.Pool
+	serial     bool
+
+	order demandSorter
+	cands candSorter
+	pdyn  []float64
+	duty  []float64
+	yEq   []float64
+	hNext []float64 // baseline per-core next health at the current base field
+	base  []float64
+	on    []bool
+	taken []bool
+	slots []candidate
+	tNext [][]float64 // per-worker predicted-temperature scratch
+	unmap []*workload.Thread
+}
+
+// scratchFor returns the context's placeScratch, rebuilding it when the
+// shape (cores, workers) changed or the context carries none.
+func (h *Hayat) scratchFor(ctx *policy.Context, n int) *placeScratch {
+	pw := ctx.Workers
+	if pw < 1 {
+		pw = 1
+	}
+	if s, ok := ctx.Scratch.(*placeScratch); ok && s.n == n && s.workers == pw {
+		return s
+	}
+	s := &placeScratch{
+		n: n, workers: pw,
+		pool:   parallel.New(pw),
+		serial: pw == 1,
+		pdyn:   make([]float64, n),
+		duty:   make([]float64, n),
+		yEq:    make([]float64, n),
+		hNext:  make([]float64, n),
+		on:     make([]bool, n),
+		taken:  make([]bool, n),
+		slots:  make([]candidate, n),
+	}
+	s.cands.cs = make([]candidate, 0, n)
+	s.tNext = make([][]float64, s.pool.Workers())
+	for i := range s.tNext {
+		s.tNext[i] = make([]float64, n)
+	}
+	ctx.Scratch = s
+	return s
+}
+
 // Map implements Algorithm 1 for a full remap (epoch boundary).
 func (h *Hayat) Map(ctx *policy.Context, threads []*workload.Thread) (policy.Result, error) {
 	return h.place(ctx, nil, threads)
@@ -184,20 +266,28 @@ func (h *Hayat) place(ctx *policy.Context, existing *mapping.Assignment, threads
 		return policy.Result{}, err
 	}
 	n := ctx.N()
+	s := h.scratchFor(ctx, n)
 	var asg *mapping.Assignment
-	if existing != nil {
+	switch {
+	case existing != nil:
 		if existing.N() != n {
 			return policy.Result{}, fmt.Errorf("hayat: existing assignment sized %d, chip has %d cores", existing.N(), n)
 		}
 		asg = existing.Clone()
-	} else {
+	case ctx.ReuseAssignment != nil && ctx.ReuseAssignment.N() == n:
+		// Recycle the caller's retired assignment: Clear keeps the map's
+		// buckets, so re-assigning the same thread set allocates nothing.
+		asg = ctx.ReuseAssignment
+		asg.Clear()
+	default:
 		asg = mapping.New(n)
 	}
 
 	// Sort threads most-demanding first so scarce fast cores are
 	// contended for before they are hidden behind slack ones.
-	order := append([]*workload.Thread(nil), threads...)
-	sort.SliceStable(order, func(i, j int) bool { return order[i].MinFreq() > order[j].MinFreq() })
+	s.order.ts = append(s.order.ts[:0], threads...)
+	sort.Stable(&s.order)
+	order := s.order.ts
 
 	avgHealth := 0.0
 	for i := range ctx.Health {
@@ -208,180 +298,183 @@ func (h *Hayat) place(ctx *policy.Context, existing *mapping.Assignment, threads
 
 	// Running state of the partial mapping, seeded from any pre-existing
 	// assignment.
-	pdyn := make([]float64, n)
-	on := make([]bool, n)
-	duty := make([]float64, n)
+	pdyn, on, duty := s.pdyn, s.on, s.duty
 	for i := 0; i < n; i++ {
+		pdyn[i], on[i], duty[i] = 0, false, 0
 		if th := asg.ThreadOn(i); th != nil {
 			pdyn[i] = ctx.ThreadDynPower(th)
 			on[i] = true
 			duty[i] = ctx.DutyMode.Duty(th)
 		}
 	}
-	base := ctx.Predictor.Predict(nil, pdyn, on)
+	base := ctx.Predictor.Predict(s.base, pdyn, on)
+	s.base = base
 
 	// Cache the per-core effective age at the base temperature once per
 	// Map call; candidate evaluation then needs only forward lookups.
 	// Entries are independent (disjoint index writes over an immutable
-	// table), so the refresh chunks across the pool.
-	pw := ctx.Workers
-	if pw < 1 {
-		pw = 1
+	// table), so the refresh chunks across the pool; the serial path runs
+	// inline to keep the epoch kernel allocation-free.
+	pool := s.pool
+	yEq, baselineHNext := s.yEq, s.hNext
+	refreshRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := duty[i]
+			yEq[i] = ctx.AgingTable.EffectiveAge(base[i], d, ctx.Health[i].Factor)
+			baselineHNext[i] = h.lookupNext(ctx, base[i], d, yEq[i])
+		}
 	}
-	pool := parallel.New(pw)
-	yEq := make([]float64, n)
-	baselineHNext := make([]float64, n)
 	refreshAgingCache := func() {
-		pool.For(n, cacheGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				d := duty[i]
-				yEq[i] = ctx.AgingTable.EffectiveAge(base[i], d, ctx.Health[i].Factor)
-				baselineHNext[i] = h.lookupNext(ctx, base[i], d, yEq[i])
-			}
-		})
+		if s.serial {
+			refreshRange(0, n)
+			return
+		}
+		pool.For(n, cacheGrain, refreshRange)
 	}
 	refreshAgingCache()
 
 	var result policy.Result
+	s.unmap = s.unmap[:0]
 	// Candidate evaluation is pure given the partial-mapping state (base,
 	// on, duty, aging cache), so candidates chunk across the pool: each
 	// evaluation writes only its own slot, workers reuse per-slot tNext
 	// scratch, and the slots are compacted in ascending core order — the
 	// exact order the serial loop appends in, so the stable sort below
 	// sees an identical input sequence for any worker count.
-	slots := make([]candidate, n)
-	taken := make([]bool, n)
-	scratch := make([][]float64, pool.Workers())
-	cands := make([]candidate, 0, n)
+	slots, taken := s.slots, s.taken
+
+	// The per-thread inputs of the evaluation closure live outside the
+	// loop so the closure is built (and heap-allocated) once per place
+	// call, not once per thread.
+	var reqF, dynP, tDuty float64
+	var numAssigned int
+	evalRange := func(slot, lo, hi int) {
+		tNext := s.tNext[slot]
+		for cand := lo; cand < hi; cand++ {
+			if on[cand] || ctx.FMax[cand] < reqF {
+				continue
+			}
+			addPower := ctx.Predictor.CandidatePower(cand, dynP, base[cand])
+			ctx.Predictor.DeltaPredict(tNext, base, cand, addPower)
+
+			// Eq. 4 admission: every core must stay below T_safe.
+			// Temperatures are absolute Kelvin (always positive), so the
+			// zero seed cannot win the max — but seed from the first
+			// element anyway; zero-sentinel reductions are exactly the
+			// bug class PR10 fixed in reduceTiles.
+			tMax := tNext[0]
+			violates := false
+			for i := 0; i < n; i++ {
+				if tNext[i] > tMax {
+					tMax = tNext[i]
+				}
+				if tNext[i] > ctx.TSafe {
+					violates = true
+					break
+				}
+			}
+			if violates {
+				continue
+			}
+
+			// estimateNextHealth: re-evaluate only thermally affected
+			// cores; the rest keep their baseline prediction.
+			hSum := 0.0
+			for i := 0; i < n; i++ {
+				dT := tNext[i] - base[i]
+				if i == cand {
+					// The candidate changes both temperature and duty.
+					yc := ctx.AgingTable.EffectiveAge(tNext[i], tDuty, ctx.Health[i].Factor)
+					hSum += h.lookupNext(ctx, tNext[i], tDuty, yc)
+					continue
+				}
+				if h.cfg.AffectedDeltaK > 0 && dT < h.cfg.AffectedDeltaK {
+					hSum += baselineHNext[i]
+					continue
+				}
+				hSum += h.lookupNext(ctx, tNext[i], duty[i], yEq[i])
+			}
+			hAvgNext := hSum / float64(n)
+
+			yc := ctx.AgingTable.EffectiveAge(tNext[cand], tDuty, ctx.Health[cand].Factor)
+			hCandNext := h.lookupNext(ctx, tNext[cand], tDuty, yc)
+			hCandNow := ctx.Health[cand].Factor
+
+			// Eq. 9 plus the DCM-optimisation spread term (see Config).
+			dfGHz := (ctx.FMax[cand] - reqF) / 1e9
+			wFreq := h.cfg.WMax
+			if dfGHz > 0 {
+				wFreq = math.Min(h.cfg.WMax, alpha/dfGHz)
+			}
+			spread := 0.0
+			if h.cfg.SpreadWeight > 0 {
+				dist := h.cfg.SpreadCap
+				if numAssigned == 0 {
+					// No anchor yet: seed the DCM at the coolest region.
+					dist = h.cfg.SpreadCap
+					if ctx.Temps[cand] > ctx.TSafe-2*(ctx.TSafe-ctx.Predictor.Ambient())/3 {
+						dist = 0
+					}
+				} else {
+					for i := 0; i < n; i++ {
+						if !on[i] {
+							continue
+						}
+						if d := ctx.Chip.Floorplan.ManhattanDistance(cand, i); d < dist {
+							dist = d
+						}
+					}
+				}
+				spread = h.cfg.SpreadWeight * float64(dist)
+			}
+			w := wFreq + beta*hCandNext/hCandNow + spread - h.cfg.WastePenaltyPerGHz*dfGHz
+			if ctx.PrevOn != nil && ctx.PrevOn[cand] {
+				w += h.cfg.IncumbentWeight
+			}
+
+			slots[cand] = candidate{core: cand, weight: w, hAvgNext: hAvgNext, tMaxNext: tMax}
+			taken[cand] = true
+		}
+	}
 
 	for _, t := range order {
 		if asg.NumAssigned() >= ctx.MaxOnCores {
-			result.Unmapped = append(result.Unmapped, t)
+			s.unmap = append(s.unmap, t)
 			continue
 		}
-		reqF, feasible := ctx.RequiredFreq(t)
+		var feasible bool
+		reqF, feasible = ctx.RequiredFreq(t)
 		if !feasible {
-			result.Unmapped = append(result.Unmapped, t)
+			s.unmap = append(s.unmap, t)
 			continue
 		}
-		dynP := ctx.ThreadDynPower(t)
-		tDuty := ctx.DutyMode.Duty(t)
-		numAssigned := asg.NumAssigned()
+		dynP = ctx.ThreadDynPower(t)
+		tDuty = ctx.DutyMode.Duty(t)
+		numAssigned = asg.NumAssigned()
 
 		for i := range taken {
 			taken[i] = false
 		}
-		pool.ForWorker(n, candGrain, func(slot, lo, hi int) {
-			tNext := scratch[slot]
-			if tNext == nil {
-				tNext = make([]float64, n)
-				scratch[slot] = tNext
-			}
-			for cand := lo; cand < hi; cand++ {
-				if on[cand] || ctx.FMax[cand] < reqF {
-					continue
-				}
-				addPower := ctx.Predictor.CandidatePower(cand, dynP, base[cand])
-				ctx.Predictor.DeltaPredict(tNext, base, cand, addPower)
-
-				// Eq. 4 admission: every core must stay below T_safe.
-				tMax := 0.0
-				violates := false
-				for i := 0; i < n; i++ {
-					if tNext[i] > tMax {
-						tMax = tNext[i]
-					}
-					if tNext[i] > ctx.TSafe {
-						violates = true
-						break
-					}
-				}
-				if violates {
-					continue
-				}
-
-				// estimateNextHealth: re-evaluate only thermally affected
-				// cores; the rest keep their baseline prediction.
-				hSum := 0.0
-				for i := 0; i < n; i++ {
-					dT := tNext[i] - base[i]
-					if i == cand {
-						// The candidate changes both temperature and duty.
-						yc := ctx.AgingTable.EffectiveAge(tNext[i], tDuty, ctx.Health[i].Factor)
-						hSum += h.lookupNext(ctx, tNext[i], tDuty, yc)
-						continue
-					}
-					if h.cfg.AffectedDeltaK > 0 && dT < h.cfg.AffectedDeltaK {
-						hSum += baselineHNext[i]
-						continue
-					}
-					hSum += h.lookupNext(ctx, tNext[i], duty[i], yEq[i])
-				}
-				hAvgNext := hSum / float64(n)
-
-				yc := ctx.AgingTable.EffectiveAge(tNext[cand], tDuty, ctx.Health[cand].Factor)
-				hCandNext := h.lookupNext(ctx, tNext[cand], tDuty, yc)
-				hCandNow := ctx.Health[cand].Factor
-
-				// Eq. 9 plus the DCM-optimisation spread term (see Config).
-				dfGHz := (ctx.FMax[cand] - reqF) / 1e9
-				wFreq := h.cfg.WMax
-				if dfGHz > 0 {
-					wFreq = math.Min(h.cfg.WMax, alpha/dfGHz)
-				}
-				spread := 0.0
-				if h.cfg.SpreadWeight > 0 {
-					dist := h.cfg.SpreadCap
-					if numAssigned == 0 {
-						// No anchor yet: seed the DCM at the coolest region.
-						dist = h.cfg.SpreadCap
-						if ctx.Temps[cand] > ctx.TSafe-2*(ctx.TSafe-ctx.Predictor.Ambient())/3 {
-							dist = 0
-						}
-					} else {
-						for i := 0; i < n; i++ {
-							if !on[i] {
-								continue
-							}
-							if d := ctx.Chip.Floorplan.ManhattanDistance(cand, i); d < dist {
-								dist = d
-							}
-						}
-					}
-					spread = h.cfg.SpreadWeight * float64(dist)
-				}
-				w := wFreq + beta*hCandNext/hCandNow + spread - h.cfg.WastePenaltyPerGHz*dfGHz
-				if ctx.PrevOn != nil && ctx.PrevOn[cand] {
-					w += h.cfg.IncumbentWeight
-				}
-
-				slots[cand] = candidate{core: cand, weight: w, hAvgNext: hAvgNext, tMaxNext: tMax}
-				taken[cand] = true
-			}
-		})
-		cands = cands[:0]
+		if s.serial {
+			evalRange(0, 0, n)
+		} else {
+			pool.ForWorker(n, candGrain, evalRange)
+		}
+		cands := s.cands.cs[:0]
 		for cand := 0; cand < n; cand++ {
 			if taken[cand] {
 				cands = append(cands, slots[cand])
 			}
 		}
+		s.cands.cs = cands
 		if len(cands) == 0 {
-			result.Unmapped = append(result.Unmapped, t)
+			s.unmap = append(s.unmap, t)
 			continue
 		}
 		// S.sort-by(weight), tie-broken by chip-average next health, then
-		// by peak temperature.
-		sort.SliceStable(cands, func(a, b int) bool {
-			ca, cb := cands[a], cands[b]
-			if ca.weight != cb.weight {
-				return ca.weight > cb.weight
-			}
-			if ca.hAvgNext != cb.hAvgNext {
-				return ca.hAvgNext > cb.hAvgNext
-			}
-			return ca.tMaxNext < cb.tMaxNext
-		})
-		best := cands[0].core
+		// by peak temperature (candSorter).
+		sort.Stable(&s.cands)
+		best := s.cands.cs[0].core
 		if err := asg.Assign(t, best); err != nil {
 			return policy.Result{}, fmt.Errorf("hayat: %w", err)
 		}
@@ -392,6 +485,9 @@ func (h *Hayat) place(ctx *policy.Context, existing *mapping.Assignment, threads
 		// the aging cache follows the new base temperatures.
 		base = ctx.Predictor.Predict(base, pdyn, on)
 		refreshAgingCache()
+	}
+	if len(s.unmap) > 0 {
+		result.Unmapped = s.unmap
 	}
 	result.Assignment = asg
 	return result, nil

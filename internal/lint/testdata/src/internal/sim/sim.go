@@ -103,6 +103,46 @@ func (e *Engine) RunMapFold(m map[int]float64, out []float64) float64 {
 	return sum
 }
 
+// --- raw map accessor escape ------------------------------------------
+
+// triplets mimics a sparse-matrix accumulator whose accessor returns the
+// internal map (the shape numeric.Triplets.Keys had before it was
+// replaced by the sorted Entries snapshot): every caller that ranges the
+// returned map inherits a nondeterministic iteration surface.
+type triplets struct {
+	vals map[[2]int]float64
+}
+
+// keys hands out the raw internal map — the escape hatch under test.
+func (t *triplets) keys() map[[2]int]float64 { return t.vals }
+
+// RunRawKeyEscape ranges the accessor's raw map straight into append:
+// the order taint crosses the call boundary with the map value.
+func (e *Engine) RunRawKeyEscape(t *triplets) [][2]int {
+	var ks [][2]int
+	for k := range t.keys() {
+		ks = append(ks, k) // want `map iteration order escapes into append`
+	}
+	return ks
+}
+
+// RunSortedKeySnapshot is the sanctioned twin — collect the keys, then
+// sort them in the same function before the order can escape (the shape
+// Entries implements).
+func (e *Engine) RunSortedKeySnapshot(t *triplets) [][2]int {
+	ks := make([][2]int, 0, len(t.keys()))
+	for k := range t.keys() {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(a, b int) bool {
+		if ks[a][0] != ks[b][0] {
+			return ks[a][0] < ks[b][0]
+		}
+		return ks[a][1] < ks[b][1]
+	})
+	return ks
+}
+
 // --- select -----------------------------------------------------------
 
 // RunSelect races two ready channels; the runtime's pseudo-random pick

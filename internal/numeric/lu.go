@@ -92,15 +92,26 @@ func (f *LU) SolveChecked(dst, b []float64) error {
 	return nil
 }
 
-// Solve solves A·x = b, writing the solution into dst (which may alias b).
-// dst and b must have length n. It returns dst.
+// Solve solves A·x = b, writing the solution into dst (which may fully
+// alias b — same backing array; partial overlap is not supported). dst
+// and b must have length n. It returns dst.
+//
+// When dst and b are distinct, Solve is allocation-free: the permutation
+// gathers straight into dst and both substitutions run in place. That is
+// the transient thermal stepper's call shape (one solve per time step),
+// so the epoch kernel stays off the heap. Only the aliased call pays for
+// a scratch copy (the gather y = P·b must read all of b before any write
+// lands).
 func (f *LU) Solve(dst, b []float64) []float64 {
 	n := f.n
 	if len(b) != n || len(dst) != n {
 		panic("numeric: LU.Solve dimension mismatch")
 	}
 	// Apply permutation: y = P·b.
-	y := make([]float64, n)
+	y := dst
+	if n > 0 && &dst[0] == &b[0] {
+		y = make([]float64, n)
+	}
 	for i := 0; i < n; i++ {
 		y[i] = b[f.piv[i]]
 	}
@@ -122,7 +133,9 @@ func (f *LU) Solve(dst, b []float64) []float64 {
 		}
 		y[i] = s / row[i]
 	}
-	copy(dst, y)
+	if n > 0 && &y[0] != &dst[0] {
+		copy(dst, y)
+	}
 	return dst
 }
 

@@ -133,3 +133,60 @@ func TestSolveInPlaceAliasing(t *testing.T) {
 		t.Fatalf("aliased solve = %v, want [1 2]", b)
 	}
 }
+
+// Solve's allocation-free fast path substitutes in place when dst and b
+// are distinct; the aliased call must still produce the identical
+// solution through its scratch copy.
+func TestLUSolveAliasedDstMatchesSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 12
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := f.Solve(make([]float64, n), b)
+	aliased := append([]float64(nil), b...)
+	got := f.Solve(aliased, aliased)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("x[%d] = %v with dst==b, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// The distinct-buffer path must be allocation-free — it is the transient
+// thermal stepper's per-step call.
+func TestLUSolveDistinctBuffersAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 16
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, n)
+	if avg := testing.AllocsPerRun(100, func() { f.Solve(dst, b) }); avg > 0 {
+		t.Fatalf("LU.Solve allocates %.1f times per call with distinct buffers, want 0", avg)
+	}
+}

@@ -130,9 +130,13 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic("numeric: MaxAbsDiff shape mismatch")
 	}
-	max := 0.0
-	for i, v := range a.Data {
-		if d := math.Abs(v - b.Data[i]); d > max {
+	// Seed from the first element, not a 0.0 sentinel: the zero seed is
+	// only correct because the diffs are absolute values, and the pattern
+	// invites copy-paste bugs into signed reductions (PR10's
+	// GridModel.reduceTiles). Seeding from the data is correct either way.
+	max := math.Abs(a.Data[0] - b.Data[0])
+	for i := 1; i < len(a.Data); i++ {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > max {
 			max = d
 		}
 	}

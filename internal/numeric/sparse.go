@@ -89,10 +89,16 @@ func (c *CSR) N() int { return c.n }
 // NNZ returns the stored-entry count.
 func (c *CSR) NNZ() int { return len(c.values) }
 
-// MulVec computes dst = C·x. dst must not alias x.
+// MulVec computes dst = C·x. dst must not alias x: row i's output would
+// overwrite an input element other rows still need. Aliasing is checked
+// (same backing array ⇒ same base element for equal-length slices) and
+// panics instead of silently corrupting the product.
 func (c *CSR) MulVec(dst, x []float64) []float64 {
 	if len(dst) != c.n || len(x) != c.n {
 		panic("numeric: CSR.MulVec dimension mismatch")
+	}
+	if c.n > 0 && &dst[0] == &x[0] {
+		panic("numeric: CSR.MulVec dst must not alias x")
 	}
 	for i := 0; i < c.n; i++ {
 		s := 0.0
@@ -223,6 +229,38 @@ func (s *CGSolver) Solve(dst, b []float64) ([]float64, bool) {
 	return dst, converged
 }
 
-// Keys exposes the accumulated coordinate set (for clients that need to
-// copy a triplet structure, e.g. to add a diagonal shift).
-func (t *Triplets) Keys() map[[2]int]float64 { return t.vals }
+// Entry is one accumulated (I, J, V) coordinate of a Triplets.
+type Entry struct {
+	I, J int
+	V    float64
+}
+
+// Entries returns the accumulated entries sorted by (i, j) — an
+// order-deterministic snapshot for clients that need to copy a triplet
+// structure (e.g. to add a diagonal shift). Unlike exposing the internal
+// map, the returned slice cannot mutate solver state and iterates in the
+// same order on every run.
+func (t *Triplets) Entries() []Entry {
+	es := make([]Entry, 0, len(t.vals))
+	for key, v := range t.vals {
+		es = append(es, Entry{I: key[0], J: key[1], V: v})
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].I != es[b].I {
+			return es[a].I < es[b].I
+		}
+		return es[a].J < es[b].J
+	})
+	return es
+}
+
+// Reset discards the warm-start state: the next Solve starts from the
+// zero vector. Use it when the right-hand side jumps discontinuously
+// (the previous solution is a bad initial guess) or when run-to-run
+// reproducibility must not depend on the solver's call history.
+func (s *CGSolver) Reset() {
+	for i := range s.x {
+		s.x[i] = 0
+	}
+	s.LastIterations = 0
+}

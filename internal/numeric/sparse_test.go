@@ -222,3 +222,107 @@ func TestCGResidualProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// MulVec must refuse an aliased destination instead of silently computing
+// garbage (row i's output would overwrite inputs other rows still need).
+func TestCSRMulVecAliasPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	csr := randomSparseSPD(rng, 4).ToCSR()
+	x := make([]float64, csr.N())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dst aliasing x")
+		}
+	}()
+	csr.MulVec(x, x)
+}
+
+// CGSolver.Solve documents that dst may alias b: the solver reads b only
+// into its internal residual and writes dst once, at the end. Pin that
+// contract — a refactor that streams results into dst mid-iteration
+// would corrupt the right-hand side.
+func TestCGSolveDstAliasesB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := randomSparseSPD(rng, 6)
+	n := tr.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	cg, err := NewCGSolver(tr.ToCSR(), 1e-12, 20*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := cg.Solve(make([]float64, n), append([]float64(nil), b...))
+	if !ok {
+		t.Fatal("separate-buffer solve failed")
+	}
+	want = append([]float64(nil), want...)
+	cg.Reset()
+	aliased := append([]float64(nil), b...)
+	got, ok := cg.Solve(aliased, aliased)
+	if !ok {
+		t.Fatal("aliased solve failed")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("x[%d] = %v with dst==b, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Reset must discard the warm start: after it, a solve behaves exactly
+// like a solve on a freshly constructed solver.
+func TestCGResetRestoresColdStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := randomSparseSPD(rng, 10)
+	n := tr.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	cg, err := NewCGSolver(tr.ToCSR(), 1e-10, 20*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	cg.Solve(x, b)
+	cold := cg.LastIterations
+	cg.Solve(x, b) // warm: ~0 iterations
+	cg.Reset()
+	cg.Solve(x, b)
+	if cg.LastIterations != cold {
+		t.Fatalf("post-Reset solve took %d iterations, cold solve took %d", cg.LastIterations, cold)
+	}
+}
+
+// Entries must come back sorted by (i, j), carry the accumulated values,
+// and be detached from the triplets' internal storage.
+func TestTripletsEntriesSortedDetached(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := randomSparseSPD(rng, 5)
+	es := tr.Entries()
+	if len(es) != tr.ToCSR().NNZ() {
+		t.Fatalf("Entries len %d != NNZ %d", len(es), tr.ToCSR().NNZ())
+	}
+	for k, e := range es {
+		if k > 0 {
+			prev := es[k-1]
+			if e.I < prev.I || (e.I == prev.I && e.J <= prev.J) {
+				t.Fatalf("entries out of order at %d: (%d,%d) after (%d,%d)", k, e.I, e.J, prev.I, prev.J)
+			}
+		}
+		if e.V != tr.At(e.I, e.J) {
+			t.Fatalf("entry (%d,%d) = %v, At says %v", e.I, e.J, e.V, tr.At(e.I, e.J))
+		}
+	}
+	// Mutating the snapshot must not reach the accumulator.
+	orig := es[0].V
+	es[0].V += 42
+	if tr.At(es[0].I, es[0].J) != orig {
+		t.Fatal("Entries returned a view into solver state")
+	}
+}

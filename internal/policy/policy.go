@@ -86,6 +86,24 @@ type Context struct {
 	// Config.Workers it is an execution hint only — a policy's decision
 	// must be bit-identical for every value.
 	Workers int
+
+	// Scratch is policy-owned working memory carried across decisions on
+	// the same context-reusing caller (the sim engine reuses one Context
+	// value for a whole run). A policy may stash any reusable state here
+	// — per-worker arenas, sorters, cached pools — keyed by its own type
+	// assertion; a type mismatch (different policy, resized chip) simply
+	// means "allocate fresh". Scratch is an execution property like
+	// Workers: it must never change a decision, only its allocation
+	// count. The two fields below are exempt from the read-only rule
+	// above — they exist for the policy to write.
+	Scratch any
+
+	// ReuseAssignment optionally hands the policy an assignment the
+	// caller no longer needs (typically the previous epoch's). The policy
+	// may Clear() it and use it as the backing store of its result
+	// instead of allocating a new one, or ignore it entirely. The caller
+	// must not touch the old assignment after passing it here.
+	ReuseAssignment *mapping.Assignment
 }
 
 // Validate checks the context for structural consistency.

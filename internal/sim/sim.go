@@ -16,6 +16,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/kit-ces/hayat/internal/aging"
@@ -245,6 +246,11 @@ type Engine struct {
 	pred *thermpredict.Predictor
 	tab  *aging.Table3D
 	pool *parallel.Pool
+	// serial short-circuits the pool dispatch on the hottest loops: at
+	// Workers()==1 the bodies run as plain inline loops, so the epoch
+	// kernel builds no closures (the pool would run them inline anyway,
+	// but passing a closure to it forces a heap allocation per call).
+	serial bool
 
 	trace      TraceSink
 	traceEvery int
@@ -268,6 +274,7 @@ func New(cfg Config, pol policy.Policy, chip *variation.Chip, tm *thermal.Model,
 	}
 	e := &Engine{cfg: cfg, pol: pol, chip: chip, tm: tm, pm: pm, pred: pred, tab: tab}
 	e.pool = parallel.New(cfg.Workers)
+	e.serial = e.pool.Workers() == 1
 	return e, nil
 }
 
@@ -285,6 +292,19 @@ type runState struct {
 	// dtmBase carries DTM totals accumulated before a checkpoint restore
 	// (the manager itself restarts from zero on resume).
 	dtmBase dtm.Stats
+
+	// Per-epoch scratch arenas, reused so the steady-state epoch kernel
+	// allocates nothing (see DESIGN.md §15). None of it is part of the
+	// resumable state: every field is fully reinitialised each epoch.
+	threadBuf []*workload.Thread           // mix.Threads destination
+	pctx      policy.Context               // reused policy context (carries Scratch across epochs)
+	prevAsg   *mapping.Assignment          // last epoch's assignment, offered back to the policy
+	ws        windowStats                  // window statistics accumulators
+	pdyn      []float64                    // per-core dynamic power
+	total     []float64                    // per-core total power
+	nodes     []float64                    // full thermal node state
+	cur       []float64                    // per-core current temperatures
+	stall     map[*workload.Thread]float64 // migration-stall countdowns
 }
 
 // newRunState builds the epoch-0 state.
@@ -295,6 +315,11 @@ func (e *Engine) newRunState() (*runState, error) {
 		fmax:     make([]float64, n),
 		temps:    make([]float64, n),
 		lastUsed: make([]int, n),
+		pdyn:     make([]float64, n),
+		total:    make([]float64, n),
+		nodes:    make([]float64, e.tm.NumNodes()),
+		cur:      make([]float64, n),
+		stall:    make(map[*workload.Thread]float64),
 	}
 	for i := 0; i < n; i++ {
 		st.health[i] = aging.NewState()
@@ -364,7 +389,6 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 	health, fmax, temps := st.health, st.fmax, st.temps
 	lastUsed, prevOn := st.lastUsed, st.prevOn
 	mix := st.mix
-	dtmMgr, tr := st.dtmMgr, st.tr
 	var err error
 
 	for ep := from; ep < to; ep++ {
@@ -382,7 +406,8 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 				return err
 			}
 		}
-		threads := mix.Threads(nil)
+		threads := mix.Threads(st.threadBuf[:0])
+		st.threadBuf = threads
 
 		// Policy decision at the epoch boundary, fed by the health
 		// monitors (current fmax, optionally noisy) and last measured
@@ -402,17 +427,25 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 				}
 			}
 		}
-		ctx := &policy.Context{
+		// The policy context is a reused runState field (one heap value per
+		// run, not per epoch); Scratch must survive the re-initialisation —
+		// it is how the policy's arenas persist across epochs. The retired
+		// assignment is offered back for recycling: the policy may clear
+		// and reuse it (Hayat does), so st.prevAsg must not be read again.
+		pctx := &st.pctx
+		*pctx = policy.Context{
 			Chip: e.chip, Predictor: e.pred, AgingTable: e.tab, PowerModel: e.pm,
 			TSafe: cfg.DTM.TSafe, MaxOnCores: maxOn, HorizonYears: horizon,
 			DutyMode: cfg.DutyMode,
 			Health:   health, FMax: sensedFMax, Temps: temps,
-			FreqLevels: cfg.FreqLevels,
-			PrevOn:     prevOn,
-			Workers:    e.pool.Workers(),
+			FreqLevels:      cfg.FreqLevels,
+			PrevOn:          prevOn,
+			Workers:         e.pool.Workers(),
+			Scratch:         st.pctx.Scratch,
+			ReuseAssignment: st.prevAsg,
 		}
 		t0 := e.stageStart()
-		mres, err := e.pol.Map(ctx, threads)
+		mres, err := e.pol.Map(pctx, threads)
 		e.stageEnd(StageMapping, t0)
 		if err != nil {
 			return fmt.Errorf("sim: %s mapping failed at epoch %d: %w", e.pol.Name(), ep, err)
@@ -432,7 +465,7 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 			return fmt.Errorf("sim: thermal window at epoch %d: %w", ep, ferr)
 		}
 		t0 = e.stageStart()
-		rec, werr := e.runWindow(ep, asg, mix, fmax, temps, dtmMgr, tr)
+		rec, werr := e.runWindow(ep, st, asg, mix)
 		e.stageEnd(StageThermal, t0)
 		if werr != nil {
 			return fmt.Errorf("sim: thermal window at epoch %d: %w", ep, werr)
@@ -467,12 +500,19 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 		// across the pool with disjoint index writes — bit-identical to
 		// the serial order.
 		t0 = e.stageStart()
-		e.pool.For(n, agingGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
+		if e.serial {
+			for i := 0; i < n; i++ {
 				health[i].Advance(e.tab, rec.worstTemp[i], rec.dutyAvg[i], cfg.EpochYears)
 				fmax[i] = e.chip.FMax0[i] * health[i].Factor
 			}
-		})
+		} else {
+			e.pool.For(n, agingGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					health[i].Advance(e.tab, rec.worstTemp[i], rec.dutyAvg[i], cfg.EpochYears)
+					fmax[i] = e.chip.FMax0[i] * health[i].Factor
+				}
+			})
+		}
 		e.stageEnd(StageAging, t0)
 
 		// Record.
@@ -491,6 +531,7 @@ func (e *Engine) runRange(ctx context.Context, st *runState, from, to int) error
 		er.AvgHealth, er.MinHealth = healthStats(health)
 		er.AvgFMax, er.MaxFMax = fmaxStats(fmax)
 		st.records = append(st.records, er)
+		st.prevAsg = asg
 	}
 	st.prevOn = prevOn
 	st.mix = mix
@@ -531,37 +572,61 @@ type windowStats struct {
 	avgIPS    float64
 }
 
-// runWindow executes the fine-grained transient simulation for one epoch
-// and updates temps in place with the per-core time-averaged temperatures.
-// A non-finite temperature anywhere in the window (poisoned power input or
-// a degenerate solve) aborts the window with an error so NaN/Inf never
-// reaches the aging advance.
-func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix,
-	fmax, temps []float64, dtmMgr *dtm.Manager, tr *thermal.Transient) (*windowStats, error) {
+// reset prepares the accumulators for an n-core window. The extreme
+// trackers are seeded at ∓Inf rather than a 0.0 sentinel (the PR10
+// zero-sentinel bug class): an all-negative field still reports its true
+// extremes. For physical positive-Kelvin temperatures the first of the
+// ≥1 steps overwrites the seeds either way, bit-identically to the old
+// zero seeds.
+func (ws *windowStats) reset(n int) {
+	if cap(ws.worstTemp) < n {
+		ws.worstTemp = make([]float64, n)
+		ws.bestTemp = make([]float64, n)
+		ws.avgTempPC = make([]float64, n)
+		ws.dutyAvg = make([]float64, n)
+	}
+	ws.worstTemp = ws.worstTemp[:n]
+	ws.bestTemp = ws.bestTemp[:n]
+	ws.avgTempPC = ws.avgTempPC[:n]
+	ws.dutyAvg = ws.dutyAvg[:n]
+	for i := 0; i < n; i++ {
+		ws.worstTemp[i] = math.Inf(-1)
+		ws.bestTemp[i] = math.Inf(1)
+		ws.avgTempPC[i] = 0
+		ws.dutyAvg[i] = 0
+	}
+	ws.avgTemp = 0
+	ws.peakTemp = math.Inf(-1)
+	ws.maxSwing = 0
+	ws.dtmEvents = 0
+	ws.avgIPS = 0
+}
 
+// runWindow executes the fine-grained transient simulation for one epoch
+// and updates st.temps in place with the per-core time-averaged
+// temperatures. A non-finite temperature anywhere in the window (poisoned
+// power input or a degenerate solve) aborts the window with an error so
+// NaN/Inf never reaches the aging advance. All working memory comes from
+// the runState scratch arenas; the returned stats point into st.ws and
+// are valid until the next window.
+func (e *Engine) runWindow(epoch int, st *runState, asg *mapping.Assignment, mix *workload.Mix) (*windowStats, error) {
 	cfg := e.cfg
+	fmax, temps := st.fmax, st.temps
+	dtmMgr, tr := st.dtmMgr, st.tr
 	n := len(fmax)
-	st := &windowStats{
-		worstTemp: make([]float64, n),
-		bestTemp:  make([]float64, n),
-		avgTempPC: make([]float64, n),
-		dutyAvg:   make([]float64, n),
-	}
-	for i := range st.bestTemp {
-		st.bestTemp[i] = 1e9
-	}
+	ws := &st.ws
+	ws.reset(n)
 
 	// Start the window from the steady state of the mapping's current
 	// power, so the multi-second sink warm-up does not eat the window.
-	pdyn := make([]float64, n)
-	total := make([]float64, n)
+	pdyn, total := st.pdyn, st.total
 	e.corePowers(pdyn, total, asg, dtmMgr, temps, fmax, nil)
-	nodes := make([]float64, e.tm.NumNodes())
-	if _, err := e.tm.SteadyStateChecked(total, nodes); err != nil {
+	if _, err := e.tm.SteadyStateChecked(total, st.nodes); err != nil {
 		return nil, err
 	}
-	tr.SetState(nodes)
-	cur := tr.CoreTemps(nil)
+	tr.SetState(st.nodes)
+	st.cur = tr.CoreTemps(st.cur)
+	cur := st.cur
 
 	steps := int(cfg.WindowSeconds/cfg.StepSeconds + 0.5)
 	if steps < 1 {
@@ -570,7 +635,8 @@ func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix
 	dtmBefore := dtmMgr.Stats()
 	tempSum := 0.0
 	ipsSum := 0.0
-	stall := make(map[*workload.Thread]float64)
+	stall := st.stall
+	clear(stall)
 
 	for s := 0; s < steps; s++ {
 		e.corePowers(pdyn, total, asg, dtmMgr, cur, fmax, stall)
@@ -580,23 +646,23 @@ func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix
 		cur = tr.CoreTemps(cur)
 
 		for i := 0; i < n; i++ {
-			if cur[i] > st.worstTemp[i] {
-				st.worstTemp[i] = cur[i]
+			if cur[i] > ws.worstTemp[i] {
+				ws.worstTemp[i] = cur[i]
 			}
-			if cur[i] < st.bestTemp[i] {
-				st.bestTemp[i] = cur[i]
+			if cur[i] < ws.bestTemp[i] {
+				ws.bestTemp[i] = cur[i]
 			}
-			if cur[i] > st.peakTemp {
-				st.peakTemp = cur[i]
+			if cur[i] > ws.peakTemp {
+				ws.peakTemp = cur[i]
 			}
-			st.avgTempPC[i] += cur[i]
+			ws.avgTempPC[i] += cur[i]
 			tempSum += cur[i]
 			if th := asg.ThreadOn(i); th != nil {
 				if stall[th] > 0 {
 					continue // migration stall: no instructions retire
 				}
 				ph := th.Phase()
-				st.dutyAvg[i] += ph.Duty
+				ws.dutyAvg[i] += ph.Duty
 				f := e.operatingFreq(th, i, fmax, cur) * dtmMgr.FrequencyFactor(i)
 				ipsSum += ph.IPC * f
 			}
@@ -623,18 +689,18 @@ func (e *Engine) runWindow(epoch int, asg *mapping.Assignment, mix *workload.Mix
 
 	inv := 1.0 / float64(steps)
 	for i := 0; i < n; i++ {
-		st.avgTempPC[i] *= inv
-		st.dutyAvg[i] *= inv
-		temps[i] = st.avgTempPC[i]
-		if swing := st.worstTemp[i] - st.bestTemp[i]; swing > st.maxSwing {
-			st.maxSwing = swing
+		ws.avgTempPC[i] *= inv
+		ws.dutyAvg[i] *= inv
+		temps[i] = ws.avgTempPC[i]
+		if swing := ws.worstTemp[i] - ws.bestTemp[i]; swing > ws.maxSwing {
+			ws.maxSwing = swing
 		}
 	}
-	st.avgTemp = tempSum * inv / float64(n)
-	st.avgIPS = ipsSum * inv
+	ws.avgTemp = tempSum * inv / float64(n)
+	ws.avgIPS = ipsSum * inv
 	after := dtmMgr.Stats()
-	st.dtmEvents = after.Events() - dtmBefore.Events()
-	return st, nil
+	ws.dtmEvents = after.Events() - dtmBefore.Events()
+	return ws, nil
 }
 
 // Chunk grains for the parallel per-core loops. Boundaries derive only
@@ -659,24 +725,33 @@ const (
 // state that is immutable during the call (assignment, phases, DTM
 // throttle flags, stall map), so the loop chunks across the pool.
 func (e *Engine) corePowers(pdyn, total []float64, asg *mapping.Assignment, dtmMgr *dtm.Manager, temps, fmax []float64, stall map[*workload.Thread]float64) {
+	if e.serial {
+		// Inline fast path: no closure, no pool dispatch (see Engine.serial).
+		e.corePowersRange(0, len(pdyn), pdyn, total, asg, dtmMgr, temps, fmax, stall)
+		return
+	}
 	e.pool.For(len(pdyn), powerGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			th := asg.ThreadOn(i)
-			if th == nil {
-				pdyn[i] = 0
-				total[i] = e.pm.GatedLeakage
-				continue
-			}
-			ph := th.Phase()
-			f := e.operatingFreq(th, i, fmax, temps) * dtmMgr.FrequencyFactor(i)
-			activity := ph.Activity
-			if stall != nil && stall[th] > 0 {
-				activity *= 0.5 // cache/state refill burns power without retiring work
-			}
-			pdyn[i] = e.pm.DynamicPower(f, activity)
-			total[i] = pdyn[i] + e.pm.CoreLeakage(e.chip.LeakFactor[i], temps[i], true)
-		}
+		e.corePowersRange(lo, hi, pdyn, total, asg, dtmMgr, temps, fmax, stall)
 	})
+}
+
+func (e *Engine) corePowersRange(lo, hi int, pdyn, total []float64, asg *mapping.Assignment, dtmMgr *dtm.Manager, temps, fmax []float64, stall map[*workload.Thread]float64) {
+	for i := lo; i < hi; i++ {
+		th := asg.ThreadOn(i)
+		if th == nil {
+			pdyn[i] = 0
+			total[i] = e.pm.GatedLeakage
+			continue
+		}
+		ph := th.Phase()
+		f := e.operatingFreq(th, i, fmax, temps) * dtmMgr.FrequencyFactor(i)
+		activity := ph.Activity
+		if stall != nil && stall[th] > 0 {
+			activity *= 0.5 // cache/state refill burns power without retiring work
+		}
+		pdyn[i] = e.pm.DynamicPower(f, activity)
+		total[i] = pdyn[i] + e.pm.CoreLeakage(e.chip.LeakFactor[i], temps[i], true)
+	}
 }
 
 // adaptParallelism implements the malleable application model: each app

@@ -18,6 +18,35 @@ const (
 	gridCoreGrain = 16
 )
 
+// GridBackend selects the linear-algebra backend of a GridModel.
+type GridBackend int
+
+const (
+	// GridBackendAuto picks dense LU up to DenseNodeThreshold nodes and
+	// the sparse CG path above it, mirroring the block model.
+	GridBackendAuto GridBackend = iota
+	// GridBackendDense forces the dense LU factorisation (O(n³) setup,
+	// O(n²) per solve) regardless of size.
+	GridBackendDense
+	// GridBackendSparse forces the Jacobi-preconditioned CG path over the
+	// CSR form (O(nnz) setup, O(nnz·iters) per solve). The grid matrix is
+	// ≥95 % zeros at 8×8/SubDiv=2 and grows sparser with the core count,
+	// and the solver warm-starts from the previous solution, so repeated
+	// solves against slowly varying powers converge in a few iterations.
+	GridBackendSparse
+)
+
+func (b GridBackend) String() string {
+	switch b {
+	case GridBackendDense:
+		return "dense"
+	case GridBackendSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
 // GridModel is the sub-core-resolution variant of the compact model —
 // HotSpot's "grid mode". Each core's silicon is split into SubDiv×SubDiv
 // tiles with lateral conductances between adjacent tiles (within and
@@ -31,6 +60,12 @@ const (
 // but GridModel validates the block model's accuracy (see the
 // block-vs-grid consistency tests) and serves floorplans that need
 // intra-core detail.
+//
+// A GridModel is NOT safe for concurrent solves: the RHS, solution and
+// reduction buffers (and, on the sparse backend, the CG warm-start
+// state) are shared scratch, reused across calls. Slices returned by the
+// SteadyState family are views of that scratch — valid until the next
+// solve on the same model; copy them to retain.
 type GridModel struct {
 	fp     *floorplan.Floorplan
 	cfg    Config
@@ -40,12 +75,21 @@ type GridModel struct {
 	nTiles int // nCores · subdiv²
 	nNodes int // nTiles + 2·nCores
 
-	g      *numeric.Matrix
-	gAmb   []float64
-	capac  []float64
-	luG    *numeric.LU
+	// tri keeps the assembled conductance pattern (for diagnostics and
+	// re-assembly); exactly one of luG/cg is the active backend.
+	tri   *numeric.Triplets
+	luG   *numeric.LU
+	cg    *numeric.CGSolver
+	gAmb  []float64
+	capac []float64
+	pool  *parallel.Pool
+
+	// Scratch arenas reused across solves (see the concurrency note on
+	// the type): RHS, node solution, and the per-core reductions.
 	rhsBuf []float64
-	pool   *parallel.Pool
+	solBuf []float64
+	avgBuf []float64
+	maxBuf []float64
 
 	// density[k] is the fraction of a core's power injected into its
 	// k-th tile (row-major inside the core); sums to 1.
@@ -57,12 +101,30 @@ func (m *GridModel) tileNode(core, tile int) int   { return core*m.subdiv*m.subd
 func (m *GridModel) gridSpreaderNode(core int) int { return m.nTiles + core }
 func (m *GridModel) gridSinkNode(core int) int     { return m.nTiles + m.nCores + core }
 
-// NewGrid assembles a sub-core-resolution network. subdiv must be ≥ 1;
-// subdiv == 1 reproduces the block model exactly. density may be nil
-// (uniform) or hold subdiv² non-negative weights (normalised internally).
+// NewGrid assembles a sub-core-resolution network with the Auto backend.
+// subdiv must be ≥ 1; subdiv == 1 reproduces the block model exactly.
+// density may be nil (uniform) or hold subdiv² non-negative weights
+// (normalised internally).
 func NewGrid(fp *floorplan.Floorplan, cfg Config, subdiv int, density []float64) (*GridModel, error) {
+	return NewGridBackend(fp, cfg, subdiv, density, GridBackendAuto)
+}
+
+// NewGridBackend is NewGrid with an explicit linear-algebra backend. The
+// conductance pattern is fixed at construction: power gating changes the
+// power injection (the right-hand side), never the conductances — a dark
+// core's silicon still conducts, which is exactly why dark cores act as
+// heat-escape paths — so no DCM change ever triggers a refactorisation.
+// The sparse backend's warm start likewise stays valid across DCM
+// changes (the previous field is an excellent initial guess); call
+// InvalidateWarmStart to make a solve independent of call history.
+func NewGridBackend(fp *floorplan.Floorplan, cfg Config, subdiv int, density []float64, backend GridBackend) (*GridModel, error) {
 	if subdiv < 1 {
 		return nil, fmt.Errorf("thermal: subdiv must be ≥1, got %d", subdiv)
+	}
+	switch backend {
+	case GridBackendAuto, GridBackendDense, GridBackendSparse:
+	default:
+		return nil, fmt.Errorf("thermal: unknown grid backend %d", backend)
 	}
 	// Reuse the block model's validation.
 	if _, err := New(fp, cfg); err != nil {
@@ -98,10 +160,13 @@ func NewGrid(fp *floorplan.Floorplan, cfg Config, subdiv int, density []float64)
 		}
 	}
 
-	m.g = numeric.NewMatrix(m.nNodes, m.nNodes)
+	m.tri = numeric.NewTriplets(m.nNodes)
 	m.gAmb = make([]float64, m.nNodes)
 	m.capac = make([]float64, m.nNodes)
 	m.rhsBuf = make([]float64, m.nNodes)
+	m.solBuf = make([]float64, m.nNodes)
+	m.avgBuf = make([]float64, m.nCores)
+	m.maxBuf = make([]float64, m.nCores)
 
 	tileW := fp.CoreWidth / float64(subdiv)
 	tileH := fp.CoreHeight / float64(subdiv)
@@ -109,10 +174,10 @@ func NewGrid(fp *floorplan.Floorplan, cfg Config, subdiv int, density []float64)
 	coreArea := fp.CoreArea()
 
 	addCoupling := func(a, b int, g float64) {
-		m.g.Add(a, a, g)
-		m.g.Add(b, b, g)
-		m.g.Add(a, b, -g)
-		m.g.Add(b, a, -g)
+		m.tri.Add(a, a, g)
+		m.tri.Add(b, b, g)
+		m.tri.Add(a, b, -g)
+		m.tri.Add(b, a, -g)
 	}
 
 	// Vertical: each tile → its core's spreader node (die half + TIM +
@@ -180,7 +245,7 @@ func NewGrid(fp *floorplan.Floorplan, cfg Config, subdiv int, density []float64)
 
 	// Ambient fold-in and capacitances.
 	for i := 0; i < m.nNodes; i++ {
-		m.g.Add(i, i, m.gAmb[i])
+		m.tri.Add(i, i, m.gAmb[i])
 	}
 	for c := 0; c < n; c++ {
 		for t := 0; t < s2; t++ {
@@ -190,17 +255,46 @@ func NewGrid(fp *floorplan.Floorplan, cfg Config, subdiv int, density []float64)
 		m.capac[m.gridSinkNode(c)] = cfg.Sink.VolumetricHeat * coreArea * cfg.Sink.AreaScale * cfg.Sink.Thickness
 	}
 
-	lu, err := numeric.FactorLU(m.g)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: grid conductance matrix singular: %w", err)
+	dense := backend == GridBackendDense || (backend == GridBackendAuto && m.nNodes <= DenseNodeThreshold)
+	if dense {
+		lu, err := numeric.FactorLU(m.tri.ToDense())
+		if err != nil {
+			return nil, fmt.Errorf("thermal: grid conductance matrix singular: %w", err)
+		}
+		m.luG = lu
+	} else {
+		cg, err := numeric.NewCGSolver(m.tri.ToCSR(), 1e-10, 20*m.nNodes)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: grid sparse solver: %w", err)
+		}
+		m.cg = cg
 	}
-	m.luG = lu
 	return m, nil
+}
+
+// Backend reports the active linear-algebra backend (never Auto).
+func (m *GridModel) Backend() GridBackend {
+	if m.luG != nil {
+		return GridBackendDense
+	}
+	return GridBackendSparse
+}
+
+// InvalidateWarmStart resets the sparse backend's warm start so the next
+// solve is independent of the model's call history (a no-op on the dense
+// backend, whose solves are history-free by construction). The
+// conductance pattern never changes after construction — DCM changes
+// move power, not conductance — so there is no corresponding
+// refactorisation trigger.
+func (m *GridModel) InvalidateWarmStart() {
+	if m.cg != nil {
+		m.cg.Reset()
+	}
 }
 
 // SetWorkers bounds the parallelism of RHS assembly and tile reduction:
 // 0 uses GOMAXPROCS, 1 (the default) is serial. Results are bit-identical
-// for every value. Like the solves themselves (shared rhsBuf), this is
+// for every value. Like the solves themselves (shared scratch), this is
 // not safe to call concurrently with solves on the same model.
 func (m *GridModel) SetWorkers(workers int) {
 	if workers == 1 {
@@ -219,35 +313,72 @@ func (m *GridModel) NumNodes() int { return m.nNodes }
 // NumTiles returns the total die-tile count.
 func (m *GridModel) NumTiles() int { return m.nTiles }
 
+// solve runs the active backend into sol (a scratch arena, len nNodes).
+func (m *GridModel) solve(sol, rhs []float64) {
+	if m.luG != nil {
+		//lint:ignore checked-solve deliberate unchecked fast path; guarded callers use SteadyStateChecked
+		m.luG.Solve(sol, rhs)
+		return
+	}
+	//lint:ignore checked-solve deliberate unchecked fast path; guarded callers use SteadyStateChecked
+	if _, ok := m.cg.Solve(sol, rhs); !ok {
+		// The conductance matrix is SPD and well conditioned; failure
+		// here indicates a programming error, not a numerical edge.
+		panic("thermal: CG did not converge on the grid steady-state system")
+	}
+}
+
+// solveChecked is solve with a non-finite guard, mirroring
+// (*Model).solveSteadyChecked.
+func (m *GridModel) solveChecked(sol, rhs []float64) error {
+	if m.luG != nil {
+		if err := m.luG.SolveChecked(sol, rhs); err != nil {
+			return fmt.Errorf("thermal: grid steady-state solve: %w", err)
+		}
+		return nil
+	}
+	if !numeric.AllFinite(rhs) {
+		return fmt.Errorf("thermal: grid steady-state solve: %w", numeric.ErrNonFinite)
+	}
+	//lint:ignore checked-solve CG has no Checked variant; rhs and sol are AllFinite-guarded on both sides of this call
+	if _, ok := m.cg.Solve(sol, rhs); !ok {
+		return fmt.Errorf("thermal: CG did not converge on the grid steady-state system")
+	}
+	if !numeric.AllFinite(sol) {
+		return fmt.Errorf("thermal: grid steady-state solve: %w", numeric.ErrNonFinite)
+	}
+	return nil
+}
+
 // SteadyState solves the static network for per-core powers (distributed
 // over tiles by the density profile). It returns the per-core average and
 // maximum die-tile temperatures; when tileTemps is non-nil (length
-// NumTiles) the full tile field is copied into it.
+// NumTiles) the full tile field is copied into it. The returned slices
+// are reused scratch — valid until the next solve on this model; copy
+// them to retain. The solve itself is allocation-free.
 func (m *GridModel) SteadyState(corePower []float64, tileTemps []float64) (coreAvg, coreMax []float64) {
 	if len(corePower) != m.nCores {
 		panic("thermal: grid SteadyState power vector length mismatch")
 	}
 	rhs := m.assembleRHS(corePower)
-	sol := make([]float64, m.nNodes)
-	//lint:ignore checked-solve deliberate unchecked fast path; guarded callers use SteadyStateChecked
-	m.luG.Solve(sol, rhs)
-	return m.reduceTiles(sol, tileTemps)
+	m.solve(m.solBuf, rhs)
+	return m.reduceTiles(m.solBuf, tileTemps)
 }
 
 // SteadyStateChecked is SteadyState returning an error instead of
 // letting non-finite temperatures escape, mirroring
 // (*Model).SteadyStateChecked: a NaN/Inf power vector or a degenerate
-// solve yields numeric.ErrNonFinite (wrapped).
+// solve yields numeric.ErrNonFinite (wrapped). The returned slices are
+// reused scratch, as in SteadyState.
 func (m *GridModel) SteadyStateChecked(corePower []float64, tileTemps []float64) (coreAvg, coreMax []float64, err error) {
 	if len(corePower) != m.nCores {
 		panic("thermal: grid SteadyState power vector length mismatch")
 	}
 	rhs := m.assembleRHS(corePower)
-	sol := make([]float64, m.nNodes)
-	if err := m.luG.SolveChecked(sol, rhs); err != nil {
-		return nil, nil, fmt.Errorf("thermal: grid steady-state solve: %w", err)
+	if err := m.solveChecked(m.solBuf, rhs); err != nil {
+		return nil, nil, err
 	}
-	coreAvg, coreMax = m.reduceTiles(sol, tileTemps)
+	coreAvg, coreMax = m.reduceTiles(m.solBuf, tileTemps)
 	return coreAvg, coreMax, nil
 }
 
@@ -257,52 +388,84 @@ func (m *GridModel) SteadyStateChecked(corePower []float64, tileTemps []float64)
 // writes disjoint per-core tile blocks (tileNode(c, ·) ranges never
 // overlap between cores).
 func (m *GridModel) assembleRHS(corePower []float64) []float64 {
-	s2 := m.subdiv * m.subdiv
 	rhs := m.rhsBuf
+	if m.pool == nil {
+		// Serial inline path: passing a closure to the pool forces a heap
+		// allocation per call even when it would run inline, and the
+		// steady-state solve must stay allocation-free.
+		m.ambientRange(0, len(rhs), rhs)
+		m.injectRange(0, len(corePower), rhs, corePower)
+		return rhs
+	}
 	m.pool.For(len(rhs), gridNodeGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rhs[i] = m.gAmb[i] * m.cfg.Ambient
-		}
+		m.ambientRange(lo, hi, rhs)
 	})
 	m.pool.For(len(corePower), gridCoreGrain, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			p := corePower[c]
-			for t := 0; t < s2; t++ {
-				rhs[m.tileNode(c, t)] += p * m.density[t]
-			}
-		}
+		m.injectRange(lo, hi, rhs, corePower)
 	})
 	return rhs
 }
 
-// reduceTiles folds a full node solution into per-core average and
-// maximum die-tile temperatures, copying the tile field out when
-// requested.
-func (m *GridModel) reduceTiles(sol, tileTemps []float64) (coreAvg, coreMax []float64) {
+func (m *GridModel) ambientRange(lo, hi int, rhs []float64) {
+	for i := lo; i < hi; i++ {
+		rhs[i] = m.gAmb[i] * m.cfg.Ambient
+	}
+}
+
+func (m *GridModel) injectRange(lo, hi int, rhs, corePower []float64) {
 	s2 := m.subdiv * m.subdiv
+	for c := lo; c < hi; c++ {
+		p := corePower[c]
+		for t := 0; t < s2; t++ {
+			rhs[m.tileNode(c, t)] += p * m.density[t]
+		}
+	}
+}
+
+// reduceTiles folds a full node solution into per-core average and
+// maximum die-tile temperatures (into the model's reduction arenas),
+// copying the tile field out when requested.
+func (m *GridModel) reduceTiles(sol, tileTemps []float64) (coreAvg, coreMax []float64) {
 	if tileTemps != nil {
 		copy(tileTemps, sol[:m.nTiles])
 	}
-	coreAvg = make([]float64, m.nCores)
-	coreMax = make([]float64, m.nCores)
+	// Locals, not the named returns: a closure over named return values
+	// captures them by reference, forcing a heap allocation on every call
+	// — including serial ones that never build the closure.
+	avg, max := m.avgBuf, m.maxBuf
 	// Per-core reduction: each core folds only its own tiles, in the same
 	// ascending tile order as the serial loop, and writes disjoint output
-	// indices — bit-identical for any worker count.
+	// indices — bit-identical for any worker count. The serial inline path
+	// skips the closure (see assembleRHS).
+	if m.pool == nil {
+		m.reduceRange(0, m.nCores, sol, avg, max)
+		return avg, max
+	}
 	m.pool.For(m.nCores, gridCoreGrain, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			sum, max := 0.0, 0.0
-			for t := 0; t < s2; t++ {
-				v := sol[m.tileNode(c, t)]
-				sum += v
-				if v > max {
-					max = v
-				}
-			}
-			coreAvg[c] = sum / float64(s2)
-			coreMax[c] = max
-		}
+		m.reduceRange(lo, hi, sol, avg, max)
 	})
-	return coreAvg, coreMax
+	return avg, max
+}
+
+func (m *GridModel) reduceRange(lo, hi int, sol, coreAvg, coreMax []float64) {
+	s2 := m.subdiv * m.subdiv
+	for c := lo; c < hi; c++ {
+		// Seed both folds from the core's first tile, not from a 0.0
+		// sentinel: an entirely negative tile field (sub-zero-Celsius
+		// ambient, delta-from-ambient solves) would otherwise report
+		// coreMax = 0.
+		first := sol[m.tileNode(c, 0)]
+		sum, max := first, first
+		for t := 1; t < s2; t++ {
+			v := sol[m.tileNode(c, t)]
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		coreAvg[c] = sum / float64(s2)
+		coreMax[c] = max
+	}
 }
 
 // HeatOutflow returns the heat flowing to ambient for a full node state.
@@ -317,11 +480,10 @@ func (m *GridModel) HeatOutflow(nodeState []float64) float64 {
 }
 
 // SteadyStateNodes is like SteadyState but returns the full node state
-// (tiles, spreader, sink) for energy accounting.
+// (tiles, spreader, sink) for energy accounting. The returned slice is
+// the model's solution arena — valid until the next solve.
 func (m *GridModel) SteadyStateNodes(corePower []float64) []float64 {
 	rhs := m.assembleRHS(corePower)
-	sol := make([]float64, m.nNodes)
-	//lint:ignore checked-solve energy-accounting diagnostic on already-validated powers; SteadyStateChecked guards the production path
-	m.luG.Solve(sol, rhs)
-	return sol
+	m.solve(m.solBuf, rhs)
+	return m.solBuf
 }

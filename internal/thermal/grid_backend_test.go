@@ -1,0 +1,206 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/kit-ces/hayat/internal/floorplan"
+)
+
+func mustGridBackend(t testing.TB, fp *floorplan.Floorplan, subdiv int, backend GridBackend) *GridModel {
+	t.Helper()
+	g, err := NewGridBackend(fp, DefaultConfig(), subdiv, nil, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Auto must pick dense LU at or under DenseNodeThreshold nodes and the
+// sparse CG path above it.
+func TestGridBackendAutoSelection(t *testing.T) {
+	small := mustGridBackend(t, floorplan.Default(), 2, GridBackendAuto) // 64·4+128 = 384 nodes
+	if small.Backend() != GridBackendDense {
+		t.Fatalf("8×8/subdiv=2 (%d nodes) picked %v, want dense", small.NumNodes(), small.Backend())
+	}
+	big := mustGridBackend(t, floorplan.New(16, 16), 2, GridBackendAuto) // 256·4+512 = 1536 nodes
+	if big.Backend() != GridBackendSparse {
+		t.Fatalf("16×16/subdiv=2 (%d nodes) picked %v, want sparse", big.NumNodes(), big.Backend())
+	}
+	if GridBackendDense.String() != "dense" || GridBackendSparse.String() != "sparse" || GridBackendAuto.String() != "auto" {
+		t.Fatal("GridBackend.String labels changed")
+	}
+}
+
+// The grid conductance matrix must be sparse enough to justify the CSR
+// path: ≥95 % structural zeros already at the default 8×8/SubDiv=2.
+func TestGridMatrixSparsity(t *testing.T) {
+	g := mustGridBackend(t, floorplan.Default(), 2, GridBackendDense)
+	nnz := len(g.tri.Entries())
+	total := g.NumNodes() * g.NumNodes()
+	if frac := 1 - float64(nnz)/float64(total); frac < 0.95 {
+		t.Fatalf("grid matrix only %.1f%% zero (%d non-zeros of %d)", 100*frac, nnz, total)
+	}
+}
+
+// The sparse CG backend must agree with dense LU on the same random grid
+// systems — per-core averages AND maxima, across repeated solves (which
+// exercise the warm start).
+func TestGridSparseMatchesDense(t *testing.T) {
+	fp := floorplan.Default()
+	dense := mustGridBackend(t, fp, 2, GridBackendDense)
+	sparse := mustGridBackend(t, fp, 2, GridBackendSparse)
+	rng := rand.New(rand.NewSource(17))
+	power := make([]float64, fp.N())
+	for round := 0; round < 5; round++ {
+		for i := range power {
+			power[i] = 9 * rng.Float64()
+		}
+		wantAvg, wantMax := dense.SteadyState(power, nil)
+		gotAvg, gotMax := sparse.SteadyState(power, nil)
+		for i := range wantAvg {
+			if math.Abs(gotAvg[i]-wantAvg[i]) > 1e-6 || math.Abs(gotMax[i]-wantMax[i]) > 1e-6 {
+				t.Fatalf("round %d core %d: sparse %v/%v vs dense %v/%v",
+					round, i, gotAvg[i], gotMax[i], wantAvg[i], wantMax[i])
+			}
+		}
+	}
+}
+
+// A solve after InvalidateWarmStart must be independent of call history:
+// bit-identical to the first solve of a freshly constructed model.
+func TestGridInvalidateWarmStart(t *testing.T) {
+	fp := floorplan.Default()
+	used := mustGridBackend(t, fp, 2, GridBackendSparse)
+	fresh := mustGridBackend(t, fp, 2, GridBackendSparse)
+	rng := rand.New(rand.NewSource(19))
+	power := make([]float64, fp.N())
+	for i := range power {
+		power[i] = 6 * rng.Float64()
+	}
+	other := make([]float64, fp.N())
+	for i := range other {
+		other[i] = 12 * rng.Float64()
+	}
+	used.SteadyState(other, nil) // pollute the warm start
+	used.InvalidateWarmStart()
+	gotAvg, gotMax := used.SteadyState(power, nil)
+	wantAvg, wantMax := fresh.SteadyState(power, nil)
+	for i := range wantAvg {
+		if gotAvg[i] != wantAvg[i] || gotMax[i] != wantMax[i] {
+			t.Fatalf("core %d: post-invalidate solve %v/%v differs from fresh-model solve %v/%v",
+				i, gotAvg[i], gotMax[i], wantAvg[i], wantMax[i])
+		}
+	}
+	// On the dense backend it must be a harmless no-op.
+	mustGridBackend(t, fp, 2, GridBackendDense).InvalidateWarmStart()
+}
+
+// Regression for the PR10 zero-sentinel bug: reduceTiles seeded its max
+// fold with 0.0, so an entirely negative tile field (delta-from-ambient
+// conventions, sub-zero-Celsius solves) reported coreMax = 0 instead of
+// the true maximum.
+func TestGridReduceTilesNegativeField(t *testing.T) {
+	g := mustGridBackend(t, floorplan.Default(), 2, GridBackendDense)
+	sol := make([]float64, g.NumNodes())
+	for i := range sol {
+		sol[i] = -40 - float64(i%7) // all negative, varying per tile
+	}
+	tiles := make([]float64, g.NumTiles())
+	avg, max := g.reduceTiles(sol, tiles)
+	s2 := g.SubDiv() * g.SubDiv()
+	for c := range max {
+		wantMax := math.Inf(-1)
+		sum := 0.0
+		for t2 := 0; t2 < s2; t2++ {
+			v := sol[c*s2+t2]
+			sum += v
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+		if max[c] != wantMax {
+			t.Fatalf("core %d: coreMax %v, want %v (zero-sentinel regression)", c, max[c], wantMax)
+		}
+		if math.Abs(avg[c]-sum/float64(s2)) > 1e-12 {
+			t.Fatalf("core %d: coreAvg %v, want %v", c, avg[c], sum/float64(s2))
+		}
+		if tiles[c*s2] != sol[c*s2] {
+			t.Fatalf("tile copy-out mismatch at core %d", c)
+		}
+	}
+}
+
+// Steady-state solves on both backends must be allocation-free after
+// construction: RHS, solution and reductions all live in the model's
+// scratch arenas (and the LU/CG solvers keep theirs).
+func TestGridSteadyStateAllocFree(t *testing.T) {
+	for _, backend := range []GridBackend{GridBackendDense, GridBackendSparse} {
+		t.Run(backend.String(), func(t *testing.T) {
+			g := mustGridBackend(t, floorplan.Default(), 2, backend)
+			power := make([]float64, 64)
+			for i := range power {
+				power[i] = 5
+			}
+			tiles := make([]float64, g.NumTiles())
+			g.SteadyState(power, tiles) // warm
+			if avg := testing.AllocsPerRun(20, func() { g.SteadyState(power, tiles) }); avg > 0 {
+				t.Fatalf("%v SteadyState allocates %.1f times per solve, want 0", backend, avg)
+			}
+		})
+	}
+}
+
+// The block model's pooled steady-state path must likewise be
+// allocation-free when the caller supplies the node buffer.
+func TestModelSteadyStateAllocFree(t *testing.T) {
+	m, err := New(floorplan.Default(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, 64)
+	for i := range power {
+		power[i] = 5
+	}
+	nodes := make([]float64, m.NumNodes())
+	m.SteadyState(power, nodes) // warm the pool
+	if avg := testing.AllocsPerRun(20, func() { m.SteadyState(power, nodes) }); avg > 0 {
+		t.Fatalf("Model.SteadyState allocates %.1f times per solve with a node buffer, want 0", avg)
+	}
+}
+
+// BenchmarkGridSteadyState compares the two linear-algebra backends on
+// the PR10 workload shape: repeated steady-state solves against the same
+// model (the epoch kernel's pattern — the CG warm start is part of the
+// measured contract, exactly as dense LU's one-time factorisation is).
+// cmd/benchjson folds these into "speedups_vs_dense" per grid size.
+func BenchmarkGridSteadyState(b *testing.B) {
+	sizes := []struct {
+		name       string
+		rows, cols int
+	}{
+		{"8x8", 8, 8},
+		{"16x16", 16, 16},
+	}
+	for _, size := range sizes {
+		for _, backend := range []GridBackend{GridBackendDense, GridBackendSparse} {
+			b.Run(fmt.Sprintf("grid=%s/backend=%s", size.name, backend), func(b *testing.B) {
+				fp := floorplan.New(size.rows, size.cols)
+				g := mustGridBackend(b, fp, 2, backend)
+				power := make([]float64, fp.N())
+				rng := rand.New(rand.NewSource(23))
+				for i := range power {
+					power[i] = 4 + 4*rng.Float64()
+				}
+				g.SteadyState(power, nil) // warm scratch + CG start
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g.SteadyState(power, nil)
+				}
+			})
+		}
+	}
+}

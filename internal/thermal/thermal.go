@@ -101,7 +101,16 @@ type Model struct {
 	// state, so concurrent solves serialise on cgMu.
 	cg   *numeric.CGSolver
 	cgMu sync.Mutex
+
+	// scratch pools per-solve rhs/sol buffers so steady-state solves are
+	// allocation-free on the hot path. A sync.Pool (not plain fields)
+	// because SteadyState is documented safe for concurrent use — the
+	// artifact cache shares one model across goroutines.
+	scratch sync.Pool
 }
+
+// steadyBuf is one pooled pair of steady-state solve buffers.
+type steadyBuf struct{ rhs, sol []float64 }
 
 // Node index helpers.
 func (m *Model) dieNode(core int) int      { return core }
@@ -209,7 +218,37 @@ func New(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 		}
 		m.cg = cg
 	}
+	nn := m.nNodes
+	m.scratch.New = func() any {
+		return &steadyBuf{rhs: make([]float64, nn), sol: make([]float64, nn)}
+	}
 	return m, nil
+}
+
+// fillSteadyRHS writes the steady-state right-hand side — ambient inflow
+// plus the per-core die power injection — into rhs (length nNodes).
+func (m *Model) fillSteadyRHS(rhs, corePower []float64) {
+	for i := range rhs {
+		rhs[i] = m.gAmb[i] * m.cfg.Ambient
+	}
+	for c, p := range corePower {
+		rhs[m.dieNode(c)] += p
+	}
+}
+
+// publishSolution hands the pooled node solution to the caller: copied
+// into nodeTemps (the allocation-free path — the returned per-core slice
+// is a view of nodeTemps) when it is non-nil, otherwise as a fresh
+// per-core copy. The pooled buffer itself must never escape: a
+// concurrent solve may reuse it as soon as it is returned to the pool.
+func (m *Model) publishSolution(sol, nodeTemps []float64) []float64 {
+	if nodeTemps != nil {
+		copy(nodeTemps, sol)
+		return nodeTemps[:m.nCores]
+	}
+	out := make([]float64, m.nCores)
+	copy(out, sol)
+	return out
 }
 
 // solveSteady dispatches to the active backend. It is safe for
@@ -271,50 +310,38 @@ func (m *Model) NumNodes() int { return m.nNodes }
 
 // SteadyState solves the static network for the given per-core power
 // vector (Watts into each die node) and returns the per-core die
-// temperatures in Kelvin. The full node state is written into nodeTemps
-// when non-nil (length NumNodes). Safe for concurrent use.
+// temperatures in Kelvin. When nodeTemps is non-nil (length NumNodes)
+// the full node state is written into it, the returned per-core slice is
+// a view of it, and the solve is allocation-free; with nil nodeTemps a
+// fresh per-core slice is returned. Safe for concurrent use.
 func (m *Model) SteadyState(corePower []float64, nodeTemps []float64) []float64 {
 	if len(corePower) != m.nCores {
 		panic("thermal: SteadyState power vector length mismatch")
 	}
-	rhs := make([]float64, m.nNodes)
-	for i := range rhs {
-		rhs[i] = m.gAmb[i] * m.cfg.Ambient
-	}
-	for c, p := range corePower {
-		rhs[m.dieNode(c)] += p
-	}
-	sol := make([]float64, m.nNodes)
-	m.solveSteady(sol, rhs)
-	if nodeTemps != nil {
-		copy(nodeTemps, sol)
-	}
-	return sol[:m.nCores]
+	buf := m.scratch.Get().(*steadyBuf)
+	defer m.scratch.Put(buf)
+	m.fillSteadyRHS(buf.rhs, corePower)
+	m.solveSteady(buf.sol, buf.rhs)
+	return m.publishSolution(buf.sol, nodeTemps)
 }
 
 // SteadyStateChecked is SteadyState returning an error instead of letting
 // non-finite temperatures escape: a NaN/Inf power vector or a degenerate
 // solve yields numeric.ErrNonFinite (wrapped) so the caller can fail the
 // run before the values reach the aging model.
+// Like SteadyState it is allocation-free when nodeTemps is provided (the
+// returned per-core slice is then a view of nodeTemps).
 func (m *Model) SteadyStateChecked(corePower []float64, nodeTemps []float64) ([]float64, error) {
 	if len(corePower) != m.nCores {
 		panic("thermal: SteadyState power vector length mismatch")
 	}
-	rhs := make([]float64, m.nNodes)
-	for i := range rhs {
-		rhs[i] = m.gAmb[i] * m.cfg.Ambient
-	}
-	for c, p := range corePower {
-		rhs[m.dieNode(c)] += p
-	}
-	sol := make([]float64, m.nNodes)
-	if err := m.solveSteadyChecked(sol, rhs); err != nil {
+	buf := m.scratch.Get().(*steadyBuf)
+	defer m.scratch.Put(buf)
+	m.fillSteadyRHS(buf.rhs, corePower)
+	if err := m.solveSteadyChecked(buf.sol, buf.rhs); err != nil {
 		return nil, err
 	}
-	if nodeTemps != nil {
-		copy(nodeTemps, sol)
-	}
-	return sol[:m.nCores], nil
+	return m.publishSolution(buf.sol, nodeTemps), nil
 }
 
 // HeatOutflow returns the total heat flowing to ambient (Watts) for a full
@@ -348,8 +375,8 @@ func (m *Model) NewTransient(dt float64) (*Transient, error) {
 		return nil, fmt.Errorf("thermal: time step must be positive, got %v", dt)
 	}
 	step := numeric.NewTriplets(m.nNodes)
-	for key, v := range m.tri.Keys() {
-		step.Add(key[0], key[1], v)
+	for _, e := range m.tri.Entries() {
+		step.Add(e.I, e.J, e.V)
 	}
 	for i := 0; i < m.nNodes; i++ {
 		step.Add(i, i, m.capac[i]/dt)

@@ -2,6 +2,7 @@ package thermpredict
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/kit-ces/hayat/internal/power"
 	"github.com/kit-ces/hayat/internal/thermal"
@@ -140,13 +141,11 @@ func (p *CompactPredictor) superpose(dst, total []float64) {
 func (p *CompactPredictor) AccuracyVs(exact *Predictor, pdyn []float64, on []bool) float64 {
 	a := p.Predict(nil, pdyn, on)
 	b := exact.Predict(nil, pdyn, on)
-	max := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > max {
+	// Seed from the first difference, not a 0.0 sentinel (the PR10
+	// zero-sentinel bug class); correct regardless of the diffs' signs.
+	max := math.Abs(a[0] - b[0])
+	for i := 1; i < len(a); i++ {
+		if d := math.Abs(a[i] - b[i]); d > max {
 			max = d
 		}
 	}

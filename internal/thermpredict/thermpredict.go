@@ -23,6 +23,7 @@ package thermpredict
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/kit-ces/hayat/internal/numeric"
 	"github.com/kit-ces/hayat/internal/power"
@@ -39,6 +40,12 @@ type Predictor struct {
 	// resp is the learned response matrix: resp[i][j] is the steady-state
 	// temperature rise of core i per Watt injected at core j.
 	resp *numeric.Matrix
+
+	// totalPool recycles the per-call total-power scratch of Predict. A
+	// sync.Pool (not a plain field) because one predictor is shared by
+	// every engine of the same chip (policy comparison runs both policies
+	// concurrently) and Predict must stay safe for concurrent use.
+	totalPool sync.Pool
 
 	// LeakageIterations is the number of fixed-point sweeps applied for
 	// the temperature-dependent leakage correction (default 2).
@@ -59,6 +66,7 @@ func Learn(tm *thermal.Model, pm power.Model, chip *variation.Chip) (*Predictor,
 		return nil, fmt.Errorf("thermpredict: chip has %d cores, floorplan %d", len(chip.FMax0), n)
 	}
 	p := &Predictor{tm: tm, pm: pm, chip: chip, LeakageIterations: 3}
+	p.totalPool.New = func() any { b := make([]float64, n); return &b }
 	p.resp = numeric.NewMatrix(n, n)
 	probe := make([]float64, n)
 	amb := tm.Ambient()
@@ -96,7 +104,9 @@ func (p *Predictor) Predict(dst, pdyn []float64, on []bool) []float64 {
 	}
 	amb := p.tm.Ambient()
 	// Initial guess: ambient-temperature leakage.
-	total := make([]float64, n)
+	tb := p.totalPool.Get().(*[]float64)
+	defer p.totalPool.Put(tb)
+	total := *tb
 	for i := range total {
 		total[i] = pdyn[i] + p.pm.CoreLeakage(p.chip.LeakFactor[i], amb, on[i])
 	}

@@ -234,9 +234,12 @@ func TestPredictLeakageCorrectionMatters(t *testing.T) {
 		on[i] = true
 	}
 	corrected := fx.pred.Predict(nil, pdyn, on)
-	noCorr := *fx.pred
-	noCorr.LeakageIterations = 0
-	uncorrected := noCorr.Predict(nil, pdyn, on)
+	// Toggle the iteration count in place: Predictor now embeds a
+	// sync.Pool, so the value must not be copied.
+	saved := fx.pred.LeakageIterations
+	fx.pred.LeakageIterations = 0
+	uncorrected := fx.pred.Predict(nil, pdyn, on)
+	fx.pred.LeakageIterations = saved
 	// The correction must raise temperatures (leakage grows with T).
 	hotter := 0
 	for i := range corrected {
